@@ -1,0 +1,111 @@
+// Command experiments regenerates every reproduction experiment table
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-n N] [-seed S] [-quick] [-run E01,E04] [-format text|markdown]
+//
+// Each experiment prints its claim notes followed by its tables; the
+// output is deterministic for a fixed (n, seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	n := fs.Int("n", 200000, "base stream length")
+	seed := fs.Uint64("seed", 42, "random seed for the whole run")
+	quick := fs.Bool("quick", false, "trim sweeps for a fast smoke run")
+	runIDs := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	format := fs.String("format", "text", "table format: text or markdown")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "markdown" {
+		return fmt.Errorf("unknown format %q (want text or markdown)", *format)
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%s  %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q; known: %v", id, experiments.IDs())
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	cfg := experiments.Config{N: *n, Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		fmt.Fprintf(out, "=== %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		res := e.Run(cfg)
+		for _, note := range res.Notes {
+			fmt.Fprintf(out, "    %s\n", note)
+		}
+		fmt.Fprintln(out)
+		for ti, tb := range res.Tables {
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", e.ID, ti)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					return err
+				}
+				if err := tb.RenderCSV(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+			var err error
+			if *format == "markdown" {
+				err = tb.RenderMarkdown(out)
+			} else {
+				err = tb.Render(out)
+			}
+			if err != nil {
+				return fmt.Errorf("render: %w", err)
+			}
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "    (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

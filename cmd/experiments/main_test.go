@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"E01", "E04", "E19"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-n", "20000", "-run", "E04"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E04a: worked examples") {
+		t.Errorf("missing golden table:\n%s", out)
+	}
+	if !strings.Contains(out, "80") || !strings.Contains(out, "55") {
+		t.Error("golden numbers missing from output")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-n", "20000", "-run", "E04", "-format", "markdown"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "| --- |") {
+		t.Error("markdown separator missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "E99"}, &b); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-format", "html"}, &b); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-notaflag"}, &b); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-n", "20000", "-run", "E03, E12"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "=== E03") || !strings.Contains(out, "=== E12") {
+		t.Error("selected experiments missing")
+	}
+	if strings.Contains(out, "=== E01") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-quick", "-n", "20000", "-run", "E04", "-csv", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "E04_0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "summary,algorithm,E_T,paper says\n") {
+		t.Errorf("unexpected CSV header:\n%s", data)
+	}
+	if !strings.Contains(string(data), "frequent,pods12-prune,80,80") {
+		t.Errorf("golden row missing:\n%s", data)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "E04_1.csv")); err != nil {
+		t.Error("second table CSV missing")
+	}
+}

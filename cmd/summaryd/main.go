@@ -1,0 +1,49 @@
+// Command summaryd runs the summary-aggregation daemon: workers PUSH
+// framed summaries into named slots, the daemon merges them on
+// arrival, and dashboards PULL the merged result — mergeable summaries
+// as a service.
+//
+// Usage:
+//
+//	summaryd [-addr 127.0.0.1:7070]
+//
+// Protocol documentation lives in internal/server. A quick session
+// with netcat:
+//
+//	$ printf 'STAT\n' | nc 127.0.0.1 7070
+//	OK 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	flag.Parse()
+
+	s := server.New()
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("summaryd listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("shutting down")
+		s.Close()
+	}()
+
+	if err := s.Serve(); err != nil {
+		log.Fatal(err)
+	}
+}

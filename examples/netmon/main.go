@@ -1,0 +1,80 @@
+// Netmon simulates the motivating scenario of the heavy-hitter
+// literature: 16 network links each observe a skewed packet stream
+// (Zipf over flow IDs); every link keeps a constant-space SpaceSaving
+// summary; a collector star-merges all 16 summaries with the
+// low-total-error algorithm and reports the flows exceeding 1% of the
+// total traffic — verified against the exact per-flow counts.
+package main
+
+import (
+	"fmt"
+
+	mergesum "repro"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+const (
+	links      = 16
+	packetsPer = 50000
+	flows      = 20000
+	zipfAlpha  = 1.2
+	k          = 400 // counters per link: eps = 1/400 = 0.25%
+	reportFrac = 100 // report flows above n/100
+)
+
+func main() {
+	// Each link sees its own Zipf stream over a shared flow universe.
+	// A shared generator assigns flow IDs so heavy flows are global.
+	z := gen.NewZipf(flows, zipfAlpha, 7)
+	truth := exact.NewFreqTable()
+	summaries := make([]*mergesum.SpaceSaving, links)
+	for l := 0; l < links; l++ {
+		summaries[l] = mergesum.NewSpaceSaving(k)
+		for i := 0; i < packetsPer; i++ {
+			flow := z.Sample()
+			truth.Add(flow, 1)
+			summaries[l].Update(flow, 1)
+		}
+	}
+
+	// Star merge at the collector, low-total-error variant.
+	collector := summaries[0]
+	for _, s := range summaries[1:] {
+		if err := collector.MergeLowError(s); err != nil {
+			panic(err)
+		}
+	}
+
+	n := collector.N()
+	threshold := mergesum.HeavyThreshold(n, reportFrac)
+	fmt.Printf("links=%d packets=%d distinct flows=%d\n", links, n, truth.Distinct())
+	fmt.Printf("per-link memory: %d counters (%.3g%% of distinct flows)\n",
+		k, 100*float64(k)/float64(truth.Distinct()))
+	fmt.Printf("reporting flows above %d packets (1/%d of traffic)\n\n", threshold, reportFrac)
+
+	reported := collector.HeavyHitters(threshold)
+	trueHH := truth.HeavyHitters(threshold)
+	trueSet := make(map[mergesum.Item]uint64, len(trueHH))
+	for _, c := range trueHH {
+		trueSet[c.Item] = c.Count
+	}
+
+	fmt.Printf("%-10s %-22s %-10s\n", "flow", "estimate [interval]", "true")
+	missedTrue := len(trueHH)
+	for _, c := range reported {
+		e := collector.Estimate(c.Item)
+		trueCount, isTrue := trueSet[c.Item]
+		marker := "  (candidate below threshold)"
+		if isTrue {
+			marker = ""
+			missedTrue--
+		}
+		fmt.Printf("%-10d %-22s %-10d%s\n", uint64(c.Item), e.String(), trueCount, marker)
+	}
+	fmt.Printf("\ntrue heavy flows: %d, reported: %d, missed: %d (mergeability guarantees 0)\n",
+		len(trueHH), len(reported), missedTrue)
+	if missedTrue != 0 {
+		panic("netmon: a true heavy hitter was missed — guarantee violated")
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: build two Misra–Gries summaries on two halves of a
+// stream, merge them, and query — the 30-second tour of the library.
+package main
+
+import (
+	"fmt"
+
+	mergesum "repro"
+)
+
+func main() {
+	// A skewed stream: item 7 is hot, everything else is noise.
+	var stream []mergesum.Item
+	for i := 0; i < 10000; i++ {
+		if i%3 == 0 {
+			stream = append(stream, 7)
+		} else {
+			stream = append(stream, mergesum.Item(i))
+		}
+	}
+
+	// Two sites each see half the stream.
+	left, right := mergesum.NewMisraGries(8), mergesum.NewMisraGries(8)
+	for i, x := range stream {
+		if i < len(stream)/2 {
+			left.Update(x, 1)
+		} else {
+			right.Update(x, 1)
+		}
+	}
+
+	// Merge right into left. The merged summary obeys the same error
+	// bound n/(k+1) as a single summary over the whole stream — that
+	// is the mergeability theorem.
+	if err := left.Merge(right); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("stream length: %d\n", left.N())
+	fmt.Printf("error bound:   %d (certificate %d)\n",
+		mergesum.MGBound(left.N(), left.K()), left.ErrorBound())
+
+	est := left.Estimate(7)
+	fmt.Printf("item 7:        estimate %s (true count 3334)\n", est)
+
+	threshold := mergesum.HeavyThreshold(left.N(), 10)
+	fmt.Printf("heavy hitters above %d:\n", threshold)
+	for _, c := range left.HeavyHitters(threshold) {
+		fmt.Printf("  item %d ~%d\n", c.Item, c.Count)
+	}
+
+	// The same library also does quantiles: a mergeable summary of a
+	// value stream.
+	q := mergesum.NewQuantile(0.01, 42)
+	for i := 0; i < 100000; i++ {
+		q.Update(float64(i))
+	}
+	fmt.Printf("median of 0..99999 ~ %.0f, p99 ~ %.0f\n", q.Quantile(0.5), q.Quantile(0.99))
+}

@@ -1,0 +1,344 @@
+// Package codec provides the shared binary wire format used by every
+// summary in this repository to implement encoding.BinaryMarshaler and
+// encoding.BinaryUnmarshaler.
+//
+// The format is a self-describing frame:
+//
+//	magic   [4]byte  "MSUM"
+//	version uint8    format version (currently 1)
+//	kind    uint8    summary kind tag (see Kind constants)
+//	length  uvarint  payload length in bytes
+//	payload []byte   kind-specific body, little-endian/uvarint encoded
+//	crc     uint32   IEEE CRC-32 of everything before it, little-endian
+//
+// The frame makes the distributed example safe to run over a raw TCP
+// stream: a truncated, reordered or corrupted summary is detected at
+// decode time instead of silently producing wrong counts.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Kind tags identify the summary type inside a frame so that a decoder
+// can reject frames of the wrong type with a useful error.
+type Kind uint8
+
+// Known summary kinds. New kinds must be appended, never renumbered:
+// the tag is part of the wire format.
+const (
+	KindInvalid Kind = iota
+	KindMisraGries
+	KindSpaceSaving
+	KindGK
+	KindRandQuant
+	KindCountMin
+	KindCountSketch
+	KindBottomK
+	KindRangeCount
+	KindKernel
+	KindQDigest
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:     "invalid",
+	KindMisraGries:  "misra-gries",
+	KindSpaceSaving: "spacesaving",
+	KindGK:          "gk",
+	KindRandQuant:   "randquant",
+	KindCountMin:    "countmin",
+	KindCountSketch: "countsketch",
+	KindBottomK:     "bottomk",
+	KindRangeCount:  "rangecount",
+	KindKernel:      "kernel",
+	KindQDigest:     "qdigest",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+const (
+	// Version is the current frame format version.
+	Version = 1
+
+	magic = "MSUM"
+)
+
+// Frame-level decoding errors.
+var (
+	ErrBadMagic    = errors.New("codec: bad magic (not a summary frame)")
+	ErrBadVersion  = errors.New("codec: unsupported frame version")
+	ErrBadChecksum = errors.New("codec: checksum mismatch")
+	ErrWrongKind   = errors.New("codec: frame holds a different summary kind")
+	ErrTruncated   = errors.New("codec: truncated frame")
+	ErrTrailing    = errors.New("codec: trailing bytes after frame")
+)
+
+// Buffer accumulates a payload using uvarint and fixed-width primitives.
+// The zero value is ready to use.
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the accumulated payload.
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Uint64 appends v as a uvarint.
+func (w *Buffer) Uint64(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+// Int appends v (which must be non-negative) as a uvarint.
+func (w *Buffer) Int(v int) {
+	if v < 0 {
+		panic("codec: negative int")
+	}
+	w.Uint64(uint64(v))
+}
+
+// Bool appends v as a single 0/1 byte.
+func (w *Buffer) Bool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+
+// Float64 appends v as its IEEE-754 bits, little-endian. NaNs are
+// preserved bit-exactly.
+func (w *Buffer) Float64(v float64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(v))
+}
+
+// Reader consumes a payload written by Buffer.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload for reading.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread payload bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+// Uint64 reads a uvarint. On error it returns 0 and records the error.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a uvarint as an int, failing on overflow.
+func (r *Reader) Int() int {
+	v := r.Uint64()
+	if r.err == nil && v > math.MaxInt32 {
+		// Structural sizes in this library are far below 2^31; a
+		// larger value indicates corruption even on 64-bit hosts.
+		r.err = fmt.Errorf("codec: implausible size %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+// ArrayLen reads a uvarint element count and validates it against the
+// remaining payload: each element needs at least minBytesPerItem bytes,
+// so a count that cannot possibly fit is corruption — rejecting it here
+// keeps decoders from allocating attacker-controlled amounts of memory
+// before they notice the truncation.
+func (r *Reader) ArrayLen(minBytesPerItem int) int {
+	if minBytesPerItem < 1 {
+		minBytesPerItem = 1
+	}
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if n*minBytesPerItem > r.Remaining() {
+		r.err = fmt.Errorf("codec: array length %d exceeds remaining payload %d", n, r.Remaining())
+		return 0
+	}
+	return n
+}
+
+// Bool reads a single byte as a bool.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.fail()
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	return v != 0
+}
+
+// Float64 reads 8 little-endian bytes as a float64.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Finish verifies that the payload was consumed exactly.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// EncodeFrame wraps a payload in the versioned, checksummed frame.
+func EncodeFrame(kind Kind, payload []byte) []byte {
+	out := make([]byte, 0, len(magic)+2+binary.MaxVarintLen64+len(payload)+4)
+	out = append(out, magic...)
+	out = append(out, Version, byte(kind))
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = append(out, payload...)
+	crc := crc32.ChecksumIEEE(out)
+	out = binary.LittleEndian.AppendUint32(out, crc)
+	return out
+}
+
+// DecodeFrame validates a frame and returns its payload. The whole
+// input must be exactly one frame.
+func DecodeFrame(kind Kind, data []byte) ([]byte, error) {
+	payload, rest, err := decodeFramePrefix(kind, data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, ErrTrailing
+	}
+	return payload, nil
+}
+
+// decodeFramePrefix decodes one frame from the front of data, returning
+// the payload and any remaining bytes.
+func decodeFramePrefix(kind Kind, data []byte) (payload, rest []byte, err error) {
+	if len(data) < len(magic)+2 {
+		return nil, nil, ErrTruncated
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, nil, ErrBadMagic
+	}
+	if data[len(magic)] != Version {
+		return nil, nil, fmt.Errorf("%w: %d", ErrBadVersion, data[len(magic)])
+	}
+	got := Kind(data[len(magic)+1])
+	if got != kind {
+		return nil, nil, fmt.Errorf("%w: have %v, want %v", ErrWrongKind, got, kind)
+	}
+	off := len(magic) + 2
+	plen, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, nil, ErrTruncated
+	}
+	off += n
+	if plen > uint64(len(data)-off) {
+		return nil, nil, ErrTruncated
+	}
+	end := off + int(plen)
+	if len(data) < end+4 {
+		return nil, nil, ErrTruncated
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[end:])
+	if crc32.ChecksumIEEE(data[:end]) != wantCRC {
+		return nil, nil, ErrBadChecksum
+	}
+	return data[off:end], data[end+4:], nil
+}
+
+// WriteFrame writes a complete frame to w, preceded by nothing: the
+// frame is self-delimiting, so frames can be concatenated on a stream.
+func WriteFrame(w io.Writer, kind Kind, payload []byte) error {
+	_, err := w.Write(EncodeFrame(kind, payload))
+	return err
+}
+
+// ReadFrame reads exactly one frame of the given kind from r.
+func ReadFrame(r io.Reader, kind Kind) ([]byte, error) {
+	head := make([]byte, len(magic)+2)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, ErrBadMagic
+	}
+	if head[len(magic)] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[len(magic)])
+	}
+	got := Kind(head[len(magic)+1])
+	if got != kind {
+		return nil, fmt.Errorf("%w: have %v, want %v", ErrWrongKind, got, kind)
+	}
+	// Read the uvarint length byte-by-byte (it is at most 10 bytes).
+	var lenBuf []byte
+	var plen uint64
+	for {
+		var b [1]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, err
+		}
+		lenBuf = append(lenBuf, b[0])
+		var n int
+		plen, n = binary.Uvarint(lenBuf)
+		if n > 0 {
+			break
+		}
+		if len(lenBuf) >= binary.MaxVarintLen64 {
+			return nil, ErrTruncated
+		}
+	}
+	if plen > 1<<31 {
+		return nil, fmt.Errorf("codec: implausible payload length %d", plen)
+	}
+	body := make([]byte, plen+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	full := append(head, lenBuf...)
+	full = append(full, body...)
+	payload, _, err := decodeFramePrefix(kind, full)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,230 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferReaderRoundTrip(t *testing.T) {
+	var w Buffer
+	w.Uint64(0)
+	w.Uint64(1)
+	w.Uint64(math.MaxUint64)
+	w.Int(42)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(3.5)
+	w.Float64(math.Inf(-1))
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != 0 {
+		t.Errorf("Uint64 #1 = %d", got)
+	}
+	if got := r.Uint64(); got != 1 {
+		t.Errorf("Uint64 #2 = %d", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 #3 = %d", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Bool(); got != true {
+		t.Errorf("Bool #1 = %v", got)
+	}
+	if got := r.Bool(); got != false {
+		t.Errorf("Bool #2 = %v", got)
+	}
+	if got := r.Float64(); got != 3.5 {
+		t.Errorf("Float64 #1 = %v", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 #2 = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var w Buffer
+	w.Uint64(300)
+	r := NewReader(w.Bytes()[:1]) // cut the varint in half
+	r.Uint64()
+	if r.Err() == nil {
+		t.Fatal("expected error on truncated varint")
+	}
+	r2 := NewReader(nil)
+	r2.Float64()
+	if r2.Err() == nil {
+		t.Fatal("expected error on empty float read")
+	}
+	r3 := NewReader(nil)
+	r3.Bool()
+	if r3.Err() == nil {
+		t.Fatal("expected error on empty bool read")
+	}
+}
+
+func TestReaderFinishTrailing(t *testing.T) {
+	var w Buffer
+	w.Uint64(1)
+	w.Uint64(2)
+	r := NewReader(w.Bytes())
+	r.Uint64()
+	if err := r.Finish(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("Finish = %v, want ErrTrailing", err)
+	}
+}
+
+func TestNegativeIntPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int(-1) did not panic")
+		}
+	}()
+	var w Buffer
+	w.Int(-1)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello summaries")
+	frame := EncodeFrame(KindMisraGries, payload)
+	got, err := DecodeFrame(KindMisraGries, frame)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	frame := EncodeFrame(KindGK, nil)
+	got, err := DecodeFrame(KindGK, frame)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("payload = %v, want empty", got)
+	}
+}
+
+func TestFrameWrongKind(t *testing.T) {
+	frame := EncodeFrame(KindMisraGries, []byte("x"))
+	if _, err := DecodeFrame(KindSpaceSaving, frame); !errors.Is(err, ErrWrongKind) {
+		t.Fatalf("err = %v, want ErrWrongKind", err)
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	frame := EncodeFrame(KindMisraGries, []byte("x"))
+	frame[0] = 'X'
+	if _, err := DecodeFrame(KindMisraGries, frame); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFrameBadVersion(t *testing.T) {
+	frame := EncodeFrame(KindMisraGries, []byte("x"))
+	frame[4] = 99
+	if _, err := DecodeFrame(KindMisraGries, frame); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestFrameCorruptPayload(t *testing.T) {
+	frame := EncodeFrame(KindMisraGries, []byte("abcdef"))
+	frame[len(frame)-6] ^= 0xff // flip a payload byte
+	if _, err := DecodeFrame(KindMisraGries, frame); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	frame := EncodeFrame(KindMisraGries, []byte("abcdef"))
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeFrame(KindMisraGries, frame[:cut]); err == nil {
+			t.Fatalf("no error decoding frame truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestFrameTrailing(t *testing.T) {
+	frame := EncodeFrame(KindMisraGries, []byte("x"))
+	frame = append(frame, 0)
+	if _, err := DecodeFrame(KindMisraGries, frame); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestStreamFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindGK, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, KindGK, []byte("two, longer payload")); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ReadFrame(&buf, KindGK)
+	if err != nil {
+		t.Fatalf("ReadFrame #1: %v", err)
+	}
+	if string(p1) != "one" {
+		t.Fatalf("frame #1 = %q", p1)
+	}
+	p2, err := ReadFrame(&buf, KindGK)
+	if err != nil {
+		t.Fatalf("ReadFrame #2: %v", err)
+	}
+	if string(p2) != "two, longer payload" {
+		t.Fatalf("frame #2 = %q", p2)
+	}
+	if _, err := ReadFrame(&buf, KindGK); err == nil {
+		t.Fatal("expected EOF-ish error on empty stream")
+	}
+}
+
+func TestStreamFrameWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, KindCountMin, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, KindGK); !errors.Is(err, ErrWrongKind) {
+		t.Fatalf("err = %v, want ErrWrongKind", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindMisraGries.String() != "misra-gries" {
+		t.Errorf("KindMisraGries.String() = %q", KindMisraGries.String())
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind String() = %q", Kind(200).String())
+	}
+}
+
+// Property: any payload round-trips through frame encode/decode, both
+// in-memory and over a stream.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, kindByte uint8) bool {
+		kind := Kind(kindByte%8 + 1)
+		frame := EncodeFrame(kind, payload)
+		got, err := DecodeFrame(kind, frame)
+		if err != nil || !bytes.Equal(got, payload) {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, kind, payload); err != nil {
+			return false
+		}
+		got2, err := ReadFrame(&buf, kind)
+		return err == nil && bytes.Equal(got2, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame: no input may panic the frame decoder, and every
+// frame the encoder produces must decode back to the same payload.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFrame(KindMisraGries, nil))
+	f.Add(EncodeFrame(KindGK, []byte("some payload")))
+	f.Add([]byte("MSUM\x01\x01garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for kind := KindMisraGries; kind <= KindKernel; kind++ {
+			payload, err := DecodeFrame(kind, data)
+			if err != nil {
+				continue
+			}
+			round := EncodeFrame(kind, payload)
+			got, err := DecodeFrame(kind, round)
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("re-encode of decoded frame failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzReader: arbitrary payload bytes must never panic the primitive
+// readers.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		r.Uint64()
+		r.Int()
+		r.Bool()
+		r.Float64()
+		r.ArrayLen(8)
+		_ = r.Finish()
+	})
+}

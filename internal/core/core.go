@@ -1,0 +1,130 @@
+// Package core defines the shared vocabulary of the mergeable-summaries
+// library: item and counter types, the summary interfaces implemented by
+// every sketch in this repository, and the error-interval type returned
+// by frequency queries.
+//
+// The central concept, following Agarwal, Cormode, Huang, Phillips, Wei
+// and Yi ("Mergeable Summaries", PODS 2012), is a summary S(D, ε) of a
+// data set D that can be *merged*: given S(D1, ε) and S(D2, ε) — and
+// nothing else — one can compute S(D1 ⊎ D2, ε) with the same size and
+// the same error parameter. Mergeability must hold for arbitrary merge
+// orders and topologies, which is what makes these summaries usable in
+// distributed and parallel aggregation.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Item identifies an element of the input universe. Frequency summaries
+// count occurrences of Items; callers hash richer keys down to uint64.
+type Item uint64
+
+// Counter pairs an item with an (estimated) count. Counter slices are
+// the interchange format between summaries, oracles and reports.
+type Counter struct {
+	Item  Item
+	Count uint64
+}
+
+// Estimate is the answer to a point (frequency) query. The true
+// frequency of the queried item is guaranteed to lie in [Lower, Upper];
+// Value is the summary's point estimate within that interval.
+type Estimate struct {
+	Value uint64
+	Lower uint64
+	Upper uint64
+}
+
+// Contains reports whether the true frequency f is inside the interval.
+func (e Estimate) Contains(f uint64) bool { return e.Lower <= f && f <= e.Upper }
+
+// Width returns the width of the error interval.
+func (e Estimate) Width() uint64 { return e.Upper - e.Lower }
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%d [%d,%d]", e.Value, e.Lower, e.Upper)
+}
+
+// FrequencySummary is the interface shared by the counter-based and
+// sketch-based frequency summaries (Misra–Gries, SpaceSaving, Count-Min,
+// Count-Sketch). Merging is defined on the concrete types because its
+// signature is type-specific; see package mergetree for generic
+// orchestration over concrete types.
+type FrequencySummary interface {
+	// Update adds w occurrences of x. w must be >= 1.
+	Update(x Item, w uint64)
+	// Estimate answers a point query for x with a guaranteed interval.
+	Estimate(x Item) Estimate
+	// N returns the total weight summarized, including merged-in weight.
+	N() uint64
+}
+
+// CounterSummary is implemented by summaries that materialize an
+// explicit, bounded set of candidate heavy hitters (MG, SpaceSaving).
+type CounterSummary interface {
+	FrequencySummary
+	// Counters returns the monitored (item, estimate) pairs in
+	// ascending order of count. The slice is a copy.
+	Counters() []Counter
+	// K returns the maximum number of counters the summary may hold.
+	K() int
+}
+
+// QuantileSummary is the interface shared by the quantile summaries
+// (GK, the randomized mergeable summary and its hybrid, bottom-k
+// sampling). Values are float64s ordered by <.
+type QuantileSummary interface {
+	// Update inserts one value.
+	Update(v float64)
+	// N returns the number of values summarized, including merges.
+	N() uint64
+	// Rank estimates the number of inserted values that are <= v.
+	Rank(v float64) uint64
+	// Quantile returns an estimate of the phi-quantile, phi in [0, 1]:
+	// a value whose rank is approximately phi*N.
+	Quantile(phi float64) float64
+}
+
+// Common errors returned by merge operations.
+var (
+	// ErrMismatchedK is returned when merging summaries built with
+	// different capacity parameters.
+	ErrMismatchedK = errors.New("core: cannot merge summaries with different k")
+	// ErrMismatchedShape is returned when merging sketches whose
+	// internal geometry (width/depth/levels/seeds) differs.
+	ErrMismatchedShape = errors.New("core: cannot merge summaries with different shapes")
+	// ErrNilSummary is returned when merging with a nil summary.
+	ErrNilSummary = errors.New("core: cannot merge a nil summary")
+)
+
+// MGBound returns the Misra–Gries error bound n/(k+1): the maximum
+// amount by which an MG summary with k counters may undercount any item
+// after summarizing total weight n, regardless of merge topology
+// (PODS'12 Theorem 2.2).
+func MGBound(n uint64, k int) uint64 {
+	if k < 0 {
+		panic("core: negative k")
+	}
+	return n / uint64(k+1)
+}
+
+// SSBound returns the SpaceSaving error bound n/k: the maximum
+// overcount of a SpaceSaving summary with k counters on total weight n.
+func SSBound(n uint64, k int) uint64 {
+	if k <= 0 {
+		panic("core: non-positive k")
+	}
+	return n / uint64(k)
+}
+
+// HeavyThreshold returns the frequency threshold floor(n/k)+1 above
+// which an item is a k-majority (phi-heavy) element of a stream of
+// total weight n, matching Definition 1.4 of the k-majority problem.
+func HeavyThreshold(n uint64, k int) uint64 {
+	if k <= 0 {
+		panic("core: non-positive k")
+	}
+	return n/uint64(k) + 1
+}

@@ -1,0 +1,64 @@
+package core
+
+import "sort"
+
+// SortCountersAsc sorts counters in ascending order of count, breaking
+// ties by item so the order is deterministic. This is the canonical
+// order used by the merge algorithms, which index the combined summary
+// "in ascending sorted order" (PODS'12 §2; supplied-text Algorithms 1-3).
+func SortCountersAsc(cs []Counter) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Count != cs[j].Count {
+			return cs[i].Count < cs[j].Count
+		}
+		return cs[i].Item < cs[j].Item
+	})
+}
+
+// SortCountersDesc sorts counters in descending order of count with the
+// same deterministic tie-break, the order reports are printed in.
+func SortCountersDesc(cs []Counter) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Count != cs[j].Count {
+			return cs[i].Count > cs[j].Count
+		}
+		return cs[i].Item < cs[j].Item
+	})
+}
+
+// TotalCount sums the counts of all counters.
+func TotalCount(cs []Counter) uint64 {
+	var n uint64
+	for _, c := range cs {
+		n += c.Count
+	}
+	return n
+}
+
+// TopCounters returns the k counters with the largest counts, in
+// descending order. It copies its input and never returns more than
+// len(cs) counters.
+func TopCounters(cs []Counter, k int) []Counter {
+	out := make([]Counter, len(cs))
+	copy(out, cs)
+	SortCountersDesc(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// PadAscending returns cs sorted ascending and left-padded with
+// zero-count counters up to length total. The merge algorithms of the
+// supplied text assume a combined summary of exactly 2k-2 slots "padded
+// with dummy counters whose frequency is zero"; this helper implements
+// that convention. It panics if len(cs) > total.
+func PadAscending(cs []Counter, total int) []Counter {
+	if len(cs) > total {
+		panic("core: cannot pad counters beyond total")
+	}
+	out := make([]Counter, total)
+	copy(out[total-len(cs):], cs)
+	SortCountersAsc(out[total-len(cs):])
+	return out
+}

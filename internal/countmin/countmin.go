@@ -1,0 +1,289 @@
+// Package countmin implements the Count-Min sketch of Cormode and
+// Muthukrishnan: a d×w matrix of counters updated through d pairwise-
+// independent hash rows. Point queries return the minimum of the d
+// matching cells, which never underestimates and overestimates by at
+// most 2n/w with probability 1−(1/2)^d per query.
+//
+// In the PODS'12 taxonomy linear sketches are the trivially mergeable
+// baseline: the sketch is a linear function of the input frequency
+// vector, so merging is cell-wise addition — at the price of a log(1/δ)
+// size factor and only probabilistic error, which is exactly the
+// trade-off the deterministic counter summaries (packages mg and
+// spacesaving) avoid.
+package countmin
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Sketch is a Count-Min sketch. The zero value is not usable; use New.
+// Sketches are not safe for concurrent use.
+type Sketch struct {
+	width        int
+	depth        int
+	seed         uint64
+	n            uint64
+	rows         [][]uint64
+	a, b         []uint64 // per-row multiply-shift hash parameters
+	conservative bool
+}
+
+// New returns an empty sketch with the given geometry. Two sketches
+// are mergeable iff they share width, depth and seed.
+func New(width, depth int, seed uint64) *Sketch {
+	if width < 1 || depth < 1 {
+		panic("countmin: width and depth must be >= 1")
+	}
+	s := &Sketch{
+		width: width,
+		depth: depth,
+		seed:  seed,
+		rows:  make([][]uint64, depth),
+		a:     make([]uint64, depth),
+		b:     make([]uint64, depth),
+	}
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < depth; i++ {
+		s.rows[i] = make([]uint64, width)
+		s.a[i] = next() | 1 // multiplier must be odd
+		s.b[i] = next()
+	}
+	return s
+}
+
+// NewEpsilonDelta returns a sketch with error at most eps*n per point
+// query with probability 1-delta: width = ceil(2/eps), depth =
+// ceil(log2(1/delta)).
+func NewEpsilonDelta(eps, delta float64, seed uint64) *Sketch {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("countmin: eps and delta must be in (0, 1)")
+	}
+	width := int(2/eps + 0.9999999)
+	depth := 1
+	for p := 0.5; p > delta; p *= 0.5 {
+		depth++
+	}
+	return New(width, depth, seed)
+}
+
+// SetConservative switches the sketch to conservative updating
+// (increment only the cells that equal the current minimum estimate),
+// which reduces overestimation on skewed streams. Conservative
+// sketches remain point-query-compatible but are no longer linear, so
+// merging them is an upper-bound approximation (still never
+// underestimates).
+func (s *Sketch) SetConservative(on bool) { s.conservative = on }
+
+// Width returns the row width.
+func (s *Sketch) Width() int { return s.width }
+
+// Depth returns the number of rows.
+func (s *Sketch) Depth() int { return s.depth }
+
+// N returns the total weight summarized, including merged-in weight.
+func (s *Sketch) N() uint64 { return s.n }
+
+// cell returns the column index of x in row i.
+func (s *Sketch) cell(i int, x core.Item) int {
+	h := s.a[i]*uint64(x) + s.b[i]
+	return int((h >> 17) % uint64(s.width))
+}
+
+// Update adds w >= 1 occurrences of x.
+func (s *Sketch) Update(x core.Item, w uint64) {
+	if w == 0 {
+		panic("countmin: zero-weight update")
+	}
+	s.n += w
+	if !s.conservative {
+		for i := 0; i < s.depth; i++ {
+			s.rows[i][s.cell(i, x)] += w
+		}
+		return
+	}
+	// Conservative update: raise every cell to at most est+w.
+	est := s.estimate(x)
+	target := est + w
+	for i := 0; i < s.depth; i++ {
+		c := s.cell(i, x)
+		if s.rows[i][c] < target {
+			s.rows[i][c] = target
+		}
+	}
+}
+
+// Remove subtracts w occurrences of x — the strict-turnstile model,
+// where deletions never exceed prior insertions of the same item. As
+// long as the caller honours that contract the no-underestimate
+// guarantee is preserved (each cell's surplus from other items only
+// shrinks); violating it makes estimates meaningless, and cells are
+// clamped at zero rather than wrapping. Conservative-update sketches
+// are not linear and cannot support deletions; Remove panics on them.
+func (s *Sketch) Remove(x core.Item, w uint64) {
+	if w == 0 {
+		panic("countmin: zero-weight remove")
+	}
+	if s.conservative {
+		panic("countmin: conservative sketches do not support Remove")
+	}
+	if w > s.n {
+		w = s.n
+	}
+	s.n -= w
+	for i := 0; i < s.depth; i++ {
+		c := s.cell(i, x)
+		if s.rows[i][c] >= w {
+			s.rows[i][c] -= w
+		} else {
+			s.rows[i][c] = 0
+		}
+	}
+}
+
+func (s *Sketch) estimate(x core.Item) uint64 {
+	min := s.rows[0][s.cell(0, x)]
+	for i := 1; i < s.depth; i++ {
+		if v := s.rows[i][s.cell(i, x)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Estimate answers a point query. The sketch never underestimates, so
+// the true frequency is in [0, Value]; the expected overestimate is at
+// most 2n/width per row.
+func (s *Sketch) Estimate(x core.Item) core.Estimate {
+	v := s.estimate(x)
+	return core.Estimate{Value: v, Lower: 0, Upper: v}
+}
+
+// Merge adds other cell-wise into s. Sketches must share geometry and
+// seed. For conservative sketches the result remains a valid upper
+// bound but may overestimate more than a directly-built sketch.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return core.ErrNilSummary
+	}
+	if s.width != other.width || s.depth != other.depth || s.seed != other.seed {
+		return fmt.Errorf("%w: countmin geometry/seed", core.ErrMismatchedShape)
+	}
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] += other.rows[i][j]
+		}
+	}
+	s.n += other.n
+	return nil
+}
+
+// Merged returns the merge of a and b without modifying either.
+func Merged(a, b *Sketch) (*Sketch, error) {
+	out := a.Clone()
+	if err := out.Merge(b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HeavyHittersOver returns the candidates whose estimate reaches
+// threshold, in descending estimate order. Because the sketch has no
+// item directory, callers supply the candidate set (e.g. the stream's
+// universe or a tracked top-k list).
+func (s *Sketch) HeavyHittersOver(candidates []core.Item, threshold uint64) []core.Counter {
+	var out []core.Counter
+	for _, x := range candidates {
+		if v := s.estimate(x); v >= threshold {
+			out = append(out, core.Counter{Item: x, Count: v})
+		}
+	}
+	core.SortCountersDesc(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := New(s.width, s.depth, s.seed)
+	c.n = s.n
+	c.conservative = s.conservative
+	for i := range s.rows {
+		copy(c.rows[i], s.rows[i])
+	}
+	return c
+}
+
+// Reset zeroes the sketch.
+func (s *Sketch) Reset() {
+	s.n = 0
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] = 0
+		}
+	}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var w codec.Buffer
+	w.Int(s.width)
+	w.Int(s.depth)
+	w.Uint64(s.seed)
+	w.Uint64(s.n)
+	w.Bool(s.conservative)
+	for i := range s.rows {
+		for _, v := range s.rows[i] {
+			w.Uint64(v)
+		}
+	}
+	return codec.EncodeFrame(codec.KindCountMin, w.Bytes()), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindCountMin, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	width := r.Int()
+	depth := r.Int()
+	seed := r.Uint64()
+	n := r.Uint64()
+	conservative := r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if width < 1 || depth < 1 || width*depth > 1<<28 {
+		return fmt.Errorf("countmin: implausible geometry %dx%d", depth, width)
+	}
+	if width*depth > r.Remaining() {
+		// Every cell takes at least one payload byte; reject before
+		// allocating attacker-controlled matrix sizes.
+		return fmt.Errorf("countmin: geometry %dx%d exceeds payload", depth, width)
+	}
+	out := New(width, depth, seed)
+	out.n = n
+	out.conservative = conservative
+	for i := 0; i < depth; i++ {
+		for j := 0; j < width; j++ {
+			out.rows[i][j] = r.Uint64()
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	*s = *out
+	return nil
+}
+
+var _ core.FrequencySummary = (*Sketch)(nil)

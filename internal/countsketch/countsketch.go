@@ -1,0 +1,250 @@
+// Package countsketch implements the Count-Sketch of Charikar, Chen
+// and Farach-Colton: a d×w matrix of signed counters; point queries
+// take the median across rows of the signed cell values. Unlike
+// Count-Min it is unbiased and its error scales with the stream's L2
+// norm (2·‖f‖₂/√w per row), which is much smaller than εn on skewed
+// streams — the classic accuracy/space trade against Count-Min.
+//
+// Count-Sketch is a linear sketch, hence trivially mergeable by
+// cell-wise addition (the PODS'12 baseline case).
+package countsketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// Sketch is a Count-Sketch. The zero value is not usable; use New.
+// Sketches are not safe for concurrent use.
+type Sketch struct {
+	width int
+	depth int
+	seed  uint64
+	n     uint64
+	rows  [][]int64
+	a, b  []uint64 // bucket hash parameters
+	sa    []uint64 // sign hash parameters
+}
+
+// New returns an empty sketch. Two sketches are mergeable iff they
+// share width, depth and seed.
+func New(width, depth int, seed uint64) *Sketch {
+	if width < 1 || depth < 1 {
+		panic("countsketch: width and depth must be >= 1")
+	}
+	s := &Sketch{
+		width: width,
+		depth: depth,
+		seed:  seed,
+		rows:  make([][]int64, depth),
+		a:     make([]uint64, depth),
+		b:     make([]uint64, depth),
+		sa:    make([]uint64, depth),
+	}
+	state := seed ^ 0xc3a5c85c97cb3127
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < depth; i++ {
+		s.rows[i] = make([]int64, width)
+		s.a[i] = next() | 1
+		s.b[i] = next()
+		s.sa[i] = next() | 1
+	}
+	return s
+}
+
+// Width returns the row width.
+func (s *Sketch) Width() int { return s.width }
+
+// Depth returns the number of rows.
+func (s *Sketch) Depth() int { return s.depth }
+
+// N returns the total weight summarized, including merged-in weight.
+func (s *Sketch) N() uint64 { return s.n }
+
+func (s *Sketch) cell(i int, x core.Item) int {
+	h := s.a[i]*uint64(x) + s.b[i]
+	return int((h >> 17) % uint64(s.width))
+}
+
+func (s *Sketch) sign(i int, x core.Item) int64 {
+	h := s.sa[i] * uint64(x)
+	if h>>63 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Update adds w >= 1 occurrences of x.
+func (s *Sketch) Update(x core.Item, w uint64) {
+	if w == 0 {
+		panic("countsketch: zero-weight update")
+	}
+	s.n += w
+	for i := 0; i < s.depth; i++ {
+		s.rows[i][s.cell(i, x)] += s.sign(i, x) * int64(w)
+	}
+}
+
+// Remove subtracts w occurrences of x. Count-Sketch is a signed linear
+// sketch, so deletions are exact (general turnstile model): Remove is
+// Update with negated weight and even over-deletions keep the sketch
+// a faithful linear image of the (now signed) frequency vector.
+func (s *Sketch) Remove(x core.Item, w uint64) {
+	if w == 0 {
+		panic("countsketch: zero-weight remove")
+	}
+	if w > s.n {
+		s.n = 0
+	} else {
+		s.n -= w
+	}
+	for i := 0; i < s.depth; i++ {
+		s.rows[i][s.cell(i, x)] -= s.sign(i, x) * int64(w)
+	}
+}
+
+// estimate returns the median-of-rows signed estimate, clamped at 0.
+func (s *Sketch) estimate(x core.Item) uint64 {
+	ests := make([]int64, s.depth)
+	for i := 0; i < s.depth; i++ {
+		ests[i] = s.sign(i, x) * s.rows[i][s.cell(i, x)]
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	var med int64
+	if s.depth%2 == 1 {
+		med = ests[s.depth/2]
+	} else {
+		med = (ests[s.depth/2-1] + ests[s.depth/2]) / 2
+	}
+	if med < 0 {
+		return 0
+	}
+	return uint64(med)
+}
+
+// Estimate answers a point query. Count-Sketch is unbiased but has no
+// deterministic one-sided bound, so the guaranteed interval is the
+// trivial [0, N].
+func (s *Sketch) Estimate(x core.Item) core.Estimate {
+	return core.Estimate{Value: s.estimate(x), Lower: 0, Upper: s.n}
+}
+
+// Merge adds other cell-wise into s. Sketches must share geometry and
+// seed.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return core.ErrNilSummary
+	}
+	if s.width != other.width || s.depth != other.depth || s.seed != other.seed {
+		return fmt.Errorf("%w: countsketch geometry/seed", core.ErrMismatchedShape)
+	}
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] += other.rows[i][j]
+		}
+	}
+	s.n += other.n
+	return nil
+}
+
+// Merged returns the merge of a and b without modifying either.
+func Merged(a, b *Sketch) (*Sketch, error) {
+	out := a.Clone()
+	if err := out.Merge(b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HeavyHittersOver returns the candidates whose estimate reaches
+// threshold, in descending estimate order.
+func (s *Sketch) HeavyHittersOver(candidates []core.Item, threshold uint64) []core.Counter {
+	var out []core.Counter
+	for _, x := range candidates {
+		if v := s.estimate(x); v >= threshold {
+			out = append(out, core.Counter{Item: x, Count: v})
+		}
+	}
+	core.SortCountersDesc(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := New(s.width, s.depth, s.seed)
+	c.n = s.n
+	for i := range s.rows {
+		copy(c.rows[i], s.rows[i])
+	}
+	return c
+}
+
+// Reset zeroes the sketch.
+func (s *Sketch) Reset() {
+	s.n = 0
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] = 0
+		}
+	}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	var w codec.Buffer
+	w.Int(s.width)
+	w.Int(s.depth)
+	w.Uint64(s.seed)
+	w.Uint64(s.n)
+	for i := range s.rows {
+		for _, v := range s.rows[i] {
+			w.Uint64(uint64(v)) // two's complement through uvarint zig would be nicer; raw bits are fine
+		}
+	}
+	return codec.EncodeFrame(codec.KindCountSketch, w.Bytes()), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindCountSketch, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	width := r.Int()
+	depth := r.Int()
+	seed := r.Uint64()
+	n := r.Uint64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if width < 1 || depth < 1 || width*depth > 1<<28 {
+		return fmt.Errorf("countsketch: implausible geometry %dx%d", depth, width)
+	}
+	if width*depth > r.Remaining() {
+		return fmt.Errorf("countsketch: geometry %dx%d exceeds payload", depth, width)
+	}
+	out := New(width, depth, seed)
+	out.n = n
+	for i := 0; i < depth; i++ {
+		for j := 0; j < width; j++ {
+			out.rows[i][j] = int64(r.Uint64())
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	*s = *out
+	return nil
+}
+
+var _ core.FrequencySummary = (*Sketch)(nil)

@@ -1,0 +1,20 @@
+package countsketch
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	s := New(32, 3, 1)
+	s.Update(7, 5)
+	seed, _ := s.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Sketch
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if _, err := out.MarshalBinary(); err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+	})
+}

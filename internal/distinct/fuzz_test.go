@@ -1,0 +1,31 @@
+package distinct
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	k := NewKMV(16, 1)
+	h := NewHLL(6, 1)
+	for i := 0; i < 500; i++ {
+		k.Update(core.Item(i))
+		h.Update(core.Item(i))
+	}
+	kd, _ := k.MarshalBinary()
+	hd, _ := h.MarshalBinary()
+	f.Add(kd)
+	f.Add(hd)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ok KMV
+		if err := ok.UnmarshalBinary(data); err == nil {
+			if ok.Size() > ok.K() {
+				t.Fatal("accepted KMV frame overflows capacity")
+			}
+		}
+		var oh HLL
+		_ = oh.UnmarshalBinary(data)
+	})
+}

@@ -1,0 +1,94 @@
+package distinct
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property: HLL estimates are monotone under merging (register-wise
+// max can only grow the estimate) and invariant under self-merge.
+func TestPropertyHLLMonotoneMerge(t *testing.T) {
+	f := func(s1, s2 []uint16) bool {
+		a, b := NewHLL(8, 3), NewHLL(8, 3)
+		for _, v := range s1 {
+			a.Update(core.Item(v))
+		}
+		for _, v := range s2 {
+			b.Update(core.Item(v))
+		}
+		before := a.Estimate()
+		merged := a.Clone()
+		if err := merged.Merge(b); err != nil {
+			return false
+		}
+		if merged.Estimate() < before-1e-9 {
+			return false
+		}
+		// Idempotence.
+		again := merged.Clone()
+		if err := again.Merge(merged); err != nil {
+			return false
+		}
+		return again.Estimate() == merged.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging KMVs commutes — a⊎b and b⊎a hold identical hash
+// sets, hence identical estimates.
+func TestPropertyKMVCommutative(t *testing.T) {
+	f := func(s1, s2 []uint16) bool {
+		build := func(vals []uint16) *KMV {
+			s := NewKMV(16, 9)
+			for _, v := range vals {
+				s.Update(core.Item(v))
+			}
+			return s
+		}
+		ab := build(s1)
+		if err := ab.Merge(build(s2)); err != nil {
+			return false
+		}
+		ba := build(s2)
+		if err := ba.Merge(build(s1)); err != nil {
+			return false
+		}
+		ha, hb := ab.Hashes(), ba.Hashes()
+		if len(ha) != len(hb) {
+			return false
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				return false
+			}
+		}
+		return ab.Estimate() == ba.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KMV never stores more than k hashes and its exact regime
+// (fewer than k distinct) reports the exact distinct count.
+func TestPropertyKMVExactRegime(t *testing.T) {
+	f := func(vals []uint8) bool {
+		s := NewKMV(300, 4) // k above the max distinct of a byte universe
+		seen := make(map[uint8]bool)
+		for _, v := range vals {
+			s.Update(core.Item(v))
+			seen[v] = true
+		}
+		if s.Size() > s.K() {
+			return false
+		}
+		return s.Estimate() == float64(len(seen))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package epsapprox
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler. The RNG state is
+// re-derived so a decoded summary continues a deterministic sequence.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	var w codec.Buffer
+	w.Int(s.s)
+	w.Float64(s.box.X0)
+	w.Float64(s.box.Y0)
+	w.Float64(s.box.X1)
+	w.Float64(s.box.Y1)
+	w.Uint64(s.n)
+	w.Uint64(s.rng.Uint64())
+	w.Int(len(s.partial))
+	for _, p := range s.partial {
+		w.Float64(p.X)
+		w.Float64(p.Y)
+	}
+	w.Int(len(s.blocks))
+	for _, b := range s.blocks {
+		w.Int(len(b))
+		for _, p := range b {
+			w.Float64(p.X)
+			w.Float64(p.Y)
+		}
+	}
+	return codec.EncodeFrame(codec.KindRangeCount, w.Bytes()), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindRangeCount, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	size := r.Int()
+	box := exact.Rect{X0: r.Float64(), Y0: r.Float64(), X1: r.Float64(), Y1: r.Float64()}
+	n := r.Uint64()
+	seed := r.Uint64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if size < 1 || !(box.X1 > box.X0) || !(box.Y1 > box.Y0) {
+		return fmt.Errorf("epsapprox: invalid frame header")
+	}
+	out := New(size, box, seed)
+	out.n = n
+	np := r.ArrayLen(16)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if np >= size {
+		return fmt.Errorf("epsapprox: partial %d exceeds block size %d", np, size)
+	}
+	for i := 0; i < np; i++ {
+		out.partial = append(out.partial, gen.Point{X: r.Float64(), Y: r.Float64()})
+	}
+	nb := r.ArrayLen(1)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	out.blocks = make([][]gen.Point, nb)
+	for i := 0; i < nb; i++ {
+		bl := r.ArrayLen(16)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if bl == 0 {
+			continue
+		}
+		if bl != size {
+			return fmt.Errorf("epsapprox: block %d has %d points, want %d", i, bl, size)
+		}
+		b := make([]gen.Point, bl)
+		for j := range b {
+			b[j] = gen.Point{X: r.Float64(), Y: r.Float64()}
+		}
+		out.blocks[i] = b
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if err := out.checkInvariants(); err != nil {
+		return fmt.Errorf("epsapprox: decoded summary invalid: %w", err)
+	}
+	*s = *out
+	return nil
+}

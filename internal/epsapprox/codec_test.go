@@ -1,0 +1,78 @@
+package epsapprox
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := New(32, unitBox, 7)
+	pts := gen.UniformPoints(5000, 3)
+	for _, p := range pts {
+		s.Update(p)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.N() || got.Size() != s.Size() || got.BlockSize() != s.BlockSize() {
+		t.Fatal("round trip changed header")
+	}
+	for _, r := range queryGrid() {
+		if got.RangeCount(r) != s.RangeCount(r) {
+			t.Fatalf("RangeCount differs after round trip for %v", r)
+		}
+	}
+	if err := got.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Decoded summaries keep working: update and merge.
+	got.Update(gen.Point{X: 0.5, Y: 0.5})
+	if got.N() != s.N()+1 {
+		t.Fatal("decoded summary not updatable")
+	}
+	other := New(32, unitBox, 9)
+	for _, p := range gen.UniformPoints(100, 4) {
+		other.Update(p)
+	}
+	if err := got.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	s := New(8, unitBox, 1)
+	for _, p := range gen.UniformPoints(100, 2) {
+		s.Update(p)
+	}
+	data, _ := s.MarshalBinary()
+	data[len(data)-5] ^= 0xff
+	var got Summary
+	if err := got.UnmarshalBinary(data); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	s := New(8, unitBox, 1)
+	for _, p := range gen.UniformPoints(200, 2) {
+		s.Update(p)
+	}
+	seed, _ := s.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Summary
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := out.checkInvariants(); err != nil {
+			t.Fatalf("accepted frame violates invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package exact implements the brute-force ground-truth oracles that
+// the experiments and tests compare every summary against: exact
+// frequency tables, exact quantiles/ranks, exact rectangle counts and
+// exact directional width. These are deliberately simple and obviously
+// correct — they define "truth" for the whole repository.
+package exact
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// FreqTable is an exact multiset of items.
+type FreqTable struct {
+	counts map[core.Item]uint64
+	n      uint64
+}
+
+// NewFreqTable returns an empty table.
+func NewFreqTable() *FreqTable {
+	return &FreqTable{counts: make(map[core.Item]uint64)}
+}
+
+// FreqOf builds a table from a stream.
+func FreqOf(stream []core.Item) *FreqTable {
+	t := NewFreqTable()
+	for _, x := range stream {
+		t.Add(x, 1)
+	}
+	return t
+}
+
+// Add records w occurrences of x.
+func (t *FreqTable) Add(x core.Item, w uint64) {
+	t.counts[x] += w
+	t.n += w
+}
+
+// Count returns the exact frequency of x.
+func (t *FreqTable) Count(x core.Item) uint64 { return t.counts[x] }
+
+// N returns the total weight.
+func (t *FreqTable) N() uint64 { return t.n }
+
+// Distinct returns the number of distinct items.
+func (t *FreqTable) Distinct() int { return len(t.counts) }
+
+// Merge adds the contents of other into t.
+func (t *FreqTable) Merge(other *FreqTable) {
+	for x, c := range other.counts {
+		t.counts[x] += c
+	}
+	t.n += other.n
+}
+
+// Counters returns all (item, count) pairs in descending count order.
+func (t *FreqTable) Counters() []core.Counter {
+	out := make([]core.Counter, 0, len(t.counts))
+	for x, c := range t.counts {
+		out = append(out, core.Counter{Item: x, Count: c})
+	}
+	core.SortCountersDesc(out)
+	return out
+}
+
+// HeavyHitters returns all items with frequency >= threshold, in
+// descending count order.
+func (t *FreqTable) HeavyHitters(threshold uint64) []core.Counter {
+	var out []core.Counter
+	for x, c := range t.counts {
+		if c >= threshold {
+			out = append(out, core.Counter{Item: x, Count: c})
+		}
+	}
+	core.SortCountersDesc(out)
+	return out
+}
+
+// Quantiles answers exact rank and quantile queries over a value set.
+type Quantiles struct {
+	sorted []float64
+}
+
+// QuantilesOf builds an oracle from values (copied, then sorted).
+func QuantilesOf(values []float64) *Quantiles {
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	return &Quantiles{sorted: s}
+}
+
+// N returns the number of values.
+func (q *Quantiles) N() uint64 { return uint64(len(q.sorted)) }
+
+// Rank returns the exact number of values <= v.
+func (q *Quantiles) Rank(v float64) uint64 {
+	return uint64(sort.Search(len(q.sorted), func(i int) bool { return q.sorted[i] > v }))
+}
+
+// Quantile returns the exact phi-quantile (nearest rank).
+func (q *Quantiles) Quantile(phi float64) float64 {
+	if len(q.sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(phi * float64(len(q.sorted)))
+	if i >= len(q.sorted) {
+		i = len(q.sorted) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return q.sorted[i]
+}
+
+// Values returns the sorted values (not a copy; callers must not
+// mutate).
+func (q *Quantiles) Values() []float64 { return q.sorted }
+
+// Rect is an axis-aligned rectangle [X0,X1] × [Y0,Y1].
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Contains reports whether p lies in r (closed on all sides).
+func (r Rect) Contains(p gen.Point) bool {
+	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
+}
+
+// RangeCount returns the exact number of points of ps inside r.
+func RangeCount(ps []gen.Point, r Rect) uint64 {
+	var n uint64
+	for _, p := range ps {
+		if r.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// DirectionalWidth returns the exact extent of ps along the unit
+// direction (cos θ, sin θ): max⟨p,u⟩ − min⟨p,u⟩.
+func DirectionalWidth(ps []gen.Point, theta float64) float64 {
+	if len(ps) == 0 {
+		return 0
+	}
+	ux, uy := math.Cos(theta), math.Sin(theta)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range ps {
+		d := p.X*ux + p.Y*uy
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,105 @@
+// Package experiments is the reproduction harness: every experiment
+// from EXPERIMENTS.md is registered here as a callable that generates
+// its tables. The target paper (PODS'12) has no empirical evaluation —
+// it is a theory paper — so the "tables and figures" reproduced here
+// are its theorems turned into measurements (error vs. proven bound,
+// size vs. proven bound, across merge topologies), plus the worked
+// numeric examples of the supplied follow-up text (experiment E04).
+//
+// The same registry backs the cmd/experiments binary and the
+// bench_test.go benchmarks, so `go test -bench=.` regenerates every
+// experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// N is the base stream length. The default (0) means 200000;
+	// experiments derive their workload sizes from it.
+	N int
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// Quick trims sweeps for use inside benchmarks and smoke tests.
+	Quick bool
+}
+
+func (c Config) n() int {
+	if c.N <= 0 {
+		return 200000
+	}
+	return c.N
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	// Notes carries claim-vs-observed commentary for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Experiment is a registered reproduction experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) Result
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(cfg Config) Result) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment in ID order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all registered experiment IDs in order.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return float64(a)
+	}
+	return float64(a) / float64(b)
+}
+
+func fmtBool(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+var _ = fmt.Sprintf // fmt is used by several experiment files

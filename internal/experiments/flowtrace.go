@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/mergetree"
+	"repro/internal/mg"
+	"repro/internal/spacesaving"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("E19", "Trace-shaped workload: heavy-hitter accuracy on a synthetic CAIDA-like packet trace", runE19)
+}
+
+func runE19(cfg Config) Result {
+	n := cfg.n()
+	ks := []int{64, 256, 1024}
+	sites := 16
+	if cfg.Quick {
+		ks = []int{128}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("E19: flow heavy hitters on a Pareto flow trace, n=%d packets, %d links, binary tree", n, sites),
+		"k", "summary", "flows", "trueHH@1/200", "recall", "precision", "maxAbsErr(HH)")
+	ft := gen.FlowTrace{ActiveFlows: n / 200, ParetoAlpha: 1.1, MinFlowSize: 1, Seed: cfg.Seed}
+	trace := ft.Generate(n)
+	truth := exact.FreqOf(trace)
+	threshold := core.HeavyThreshold(uint64(n), 200)
+	trueHH := truth.HeavyHitters(threshold)
+	parts := gen.PartitionRoundRobin(trace, sites) // packets of a flow hit many links
+
+	for _, k := range ks {
+		mgM, err := mergetree.BuildAndMerge(parts,
+			func(part []core.Item) *mg.Summary {
+				s := mg.New(k)
+				for _, x := range part {
+					s.Update(x, 1)
+				}
+				return s
+			},
+			mergetree.Binary[*mg.Summary], (*mg.Summary).MergeLowError)
+		if err != nil {
+			panic(err)
+		}
+		ssM, err := mergetree.BuildAndMerge(parts,
+			func(part []core.Item) *spacesaving.Summary {
+				s := spacesaving.New(k)
+				for _, x := range part {
+					s.Update(x, 1)
+				}
+				return s
+			},
+			mergetree.Binary[*spacesaving.Summary], (*spacesaving.Summary).MergeLowError)
+		if err != nil {
+			panic(err)
+		}
+		score := func(name string, reported []core.Counter, est func(core.Item) core.Estimate) {
+			r := stats.MeasureRecall(trueHH, reported)
+			var worst uint64
+			for _, c := range trueHH {
+				e := est(c.Item)
+				var d uint64
+				if e.Value >= c.Count {
+					d = e.Value - c.Count
+				} else {
+					d = c.Count - e.Value
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+			tb.AddRow(k, name, truth.Distinct(), len(trueHH), r.RecallRate(), r.PrecisionRate(), worst)
+		}
+		score("mg", mgM.HeavyHitters(threshold), mgM.Estimate)
+		score("ss", ssM.HeavyHitters(threshold), ssM.Estimate)
+	}
+	return Result{
+		ID: "E19", Title: "Trace-shaped workload", Tables: []*stats.Table{tb},
+		Notes: []string{
+			"Claim: the mergeability guarantees are distribution-free — on a churning Pareto flow trace (the CAIDA substitute of DESIGN.md §2) recall is 1.0 whenever the summary is provisioned for the threshold (k >= 2/phi = 400 here; the k=64 row shows graceful degradation below that), with errors within the bound exactly as on the stylized Zipf streams.",
+		},
+	}
+}

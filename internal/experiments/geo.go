@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/epsapprox"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/kernel"
+	"repro/internal/mergetree"
+	"repro/internal/stats"
+)
+
+func init() {
+	register("E10", "ε-approximation for 2-D rectangle counting under merges (PODS'12 §4)", runE10)
+	register("E11", "Mergeable ε-kernel: directional width under merges (PODS'12 §5)", runE11)
+}
+
+var unitBox = exact.Rect{X0: 0, Y0: 0, X1: 1, Y1: 1}
+
+// rectGrid is the query workload for E10.
+func rectGrid() []exact.Rect {
+	var rs []exact.Rect
+	for _, x0 := range []float64{0, 0.15, 0.4, 0.7} {
+		for _, y0 := range []float64{0, 0.25, 0.55} {
+			for _, w := range []float64{0.08, 0.3, 0.6} {
+				rs = append(rs, exact.Rect{X0: x0, Y0: y0, X1: x0 + w, Y1: y0 + 0.7*w})
+			}
+		}
+	}
+	return rs
+}
+
+func runE10(cfg Config) Result {
+	n := cfg.n() / 2
+	blockSizes := []int{64, 256, 1024}
+	sites := 8
+	if cfg.Quick {
+		blockSizes = []int{256}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("E10: rectangle-count discrepancy, n=%d points, %d sites, binary tree", n, sites),
+		"dist", "blockSize s", "summarySize", "maxErr stream", "maxErr merged", "maxErr/n")
+	for _, dist := range []string{"uniform", "clustered"} {
+		var pts []gen.Point
+		if dist == "uniform" {
+			pts = gen.UniformPoints(n, cfg.Seed+1)
+		} else {
+			pts = gen.ClusteredPoints(n, 6, 0.04, cfg.Seed+2)
+		}
+		queries := rectGrid()
+		worstOf := func(s *epsapprox.Summary) uint64 {
+			var worst uint64
+			for _, r := range queries {
+				truth := exact.RangeCount(pts, r)
+				got := s.RangeCount(r)
+				d := got - truth
+				if truth > got {
+					d = truth - got
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+			return worst
+		}
+		for _, bs := range blockSizes {
+			stream := epsapprox.New(bs, unitBox, cfg.Seed+7)
+			for _, p := range pts {
+				stream.Update(p)
+			}
+			parts := gen.PartitionRandomSizes(pts, sites, cfg.Seed+3)
+			seed := cfg.Seed + 100
+			merged, err := mergetree.BuildAndMerge(parts,
+				func(part []gen.Point) *epsapprox.Summary {
+					seed++
+					s := epsapprox.New(bs, unitBox, seed)
+					for _, p := range part {
+						s.Update(p)
+					}
+					return s
+				},
+				mergetree.Binary[*epsapprox.Summary], (*epsapprox.Summary).Merge)
+			if err != nil {
+				panic(err)
+			}
+			tb.AddRow(dist, bs, merged.Size(), worstOf(stream), worstOf(merged),
+				float64(worstOf(merged))/float64(n))
+		}
+	}
+	return Result{
+		ID: "E10", Title: "2-D ε-approximation", Tables: []*stats.Table{tb},
+		Notes: []string{
+			"Claim (§4 shape): rectangle-count error decreases as the block size grows and merging does not blow it up (merged ≈ stream column).",
+		},
+	}
+}
+
+func runE11(cfg Config) Result {
+	n := cfg.n() / 4
+	ms := []int{8, 32, 128, 512}
+	sites := 8
+	if cfg.Quick {
+		ms = []int{32}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("E11: directional-width error of the kernel, n=%d points, %d sites", n, sites),
+		"dist", "m dirs", "kernelPts", "maxRelErr", "predicted 2*pi/m*aspect", "mergeLossless")
+	for _, dist := range []string{"ring", "gaussian"} {
+		var pts []gen.Point
+		aspect := 1.0
+		if dist == "ring" {
+			pts = gen.RingPoints(n, 1, 0.02, cfg.Seed+1)
+		} else {
+			pts = gen.GaussianPoints(n, 3, 1, 0.4, cfg.Seed+2)
+			aspect = 3
+		}
+		for _, m := range ms {
+			whole := kernel.New(m)
+			for _, p := range pts {
+				whole.Update(p)
+			}
+			parts := gen.PartitionRandomSizes(pts, sites, cfg.Seed+3)
+			merged, err := mergetree.BuildAndMerge(parts,
+				func(part []gen.Point) *kernel.Kernel {
+					k := kernel.New(m)
+					for _, p := range part {
+						k.Update(p)
+					}
+					return k
+				},
+				mergetree.Binary[*kernel.Kernel], (*kernel.Kernel).Merge)
+			if err != nil {
+				panic(err)
+			}
+			var worst float64
+			lossless := true
+			for i := 0; i < 90; i++ {
+				theta := math.Pi * float64(i) / 90
+				truth := exact.DirectionalWidth(pts, theta)
+				got := merged.Width(theta)
+				if truth > 0 {
+					rel := (truth - got) / truth
+					if rel > worst {
+						worst = rel
+					}
+				}
+				if math.Abs(got-whole.Width(theta)) > 1e-9 {
+					lossless = false
+				}
+			}
+			tb.AddRow(dist, m, len(merged.Points()), worst,
+				2*math.Pi/float64(m)*aspect, fmtBool(lossless))
+		}
+	}
+	return Result{
+		ID: "E11", Title: "ε-kernel width", Tables: []*stats.Table{tb},
+		Notes: []string{
+			"Claim (§5): merging kernels over a fixed direction grid is lossless (merged width == whole-set kernel width for every direction), so the only error is the grid discretization ~1/m.",
+		},
+	}
+}

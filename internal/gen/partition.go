@@ -1,0 +1,84 @@
+package gen
+
+// Partitioners split a stream across p "sites" for distributed-merge
+// experiments. Each models a different data-placement regime:
+//
+//   - PartitionRoundRobin: balanced, well-mixed (easy case).
+//   - PartitionContiguous: each site sees a contiguous time slice
+//     (models sharding by arrival time).
+//   - PartitionRandomSizes: sites receive random, unequal shares
+//     (exercises the unequal-weight merge paths).
+//   - PartitionByHash: each distinct item lives entirely at one site
+//     (disjoint supports — the adversarial case for merging, used by
+//     the total-error experiments).
+
+// PartitionRoundRobin deals items to p sites in rotation.
+func PartitionRoundRobin[T any](stream []T, p int) [][]T {
+	if p <= 0 {
+		panic("gen: non-positive partition count")
+	}
+	parts := make([][]T, p)
+	for i, x := range stream {
+		parts[i%p] = append(parts[i%p], x)
+	}
+	return parts
+}
+
+// PartitionContiguous splits the stream into p contiguous slices of
+// near-equal length. The returned slices alias the input.
+func PartitionContiguous[T any](stream []T, p int) [][]T {
+	if p <= 0 {
+		panic("gen: non-positive partition count")
+	}
+	parts := make([][]T, p)
+	n := len(stream)
+	for i := 0; i < p; i++ {
+		lo, hi := i*n/p, (i+1)*n/p
+		parts[i] = stream[lo:hi]
+	}
+	return parts
+}
+
+// PartitionRandomSizes splits the stream into p contiguous slices with
+// random cut points (every site gets at least zero items; empty parts
+// are possible and intentionally exercised).
+func PartitionRandomSizes[T any](stream []T, p int, seed uint64) [][]T {
+	if p <= 0 {
+		panic("gen: non-positive partition count")
+	}
+	rng := NewRNG(seed)
+	cuts := make([]int, p-1)
+	for i := range cuts {
+		cuts[i] = rng.Intn(len(stream) + 1)
+	}
+	// Insertion-sort the cut points (p is small).
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	parts := make([][]T, p)
+	prev := 0
+	for i, c := range cuts {
+		parts[i] = stream[prev:c]
+		prev = c
+	}
+	parts[p-1] = stream[prev:]
+	return parts
+}
+
+// PartitionByHash routes every occurrence of an item to the site
+// selected by a hash of the item, so supports are disjoint across
+// sites. The hash function is the caller's (typically identity for
+// core.Item streams).
+func PartitionByHash[T any](stream []T, p int, hash func(T) uint64) [][]T {
+	if p <= 0 {
+		panic("gen: non-positive partition count")
+	}
+	parts := make([][]T, p)
+	for _, x := range stream {
+		i := int(hash(x) % uint64(p))
+		parts[i] = append(parts[i], x)
+	}
+	return parts
+}

@@ -1,0 +1,61 @@
+package gk
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// MarshalBinary encodes the summary (pending inserts are flushed
+// first). It implements encoding.BinaryMarshaler.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	s.flush()
+	var w codec.Buffer
+	w.Float64(s.eps)
+	w.Uint64(s.n)
+	w.Int(len(s.tuples))
+	for _, t := range s.tuples {
+		w.Float64(t.v)
+		w.Uint64(t.g)
+		w.Uint64(t.delta)
+	}
+	return codec.EncodeFrame(codec.KindGK, w.Bytes()), nil
+}
+
+// UnmarshalBinary decodes a summary previously encoded with
+// MarshalBinary, replacing the receiver's contents. It implements
+// encoding.BinaryUnmarshaler.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindGK, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	eps := r.Float64()
+	n := r.Uint64()
+	m := r.ArrayLen(10)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("gk: invalid eps %v in frame", eps)
+	}
+	tuples := make([]tuple, 0, m)
+	var sumG uint64
+	for i := 0; i < m; i++ {
+		tp := tuple{v: r.Float64(), g: r.Uint64(), delta: r.Uint64()}
+		tuples = append(tuples, tp)
+		sumG += tp.g
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	if sumG != n {
+		return fmt.Errorf("gk: frame weight %d != n %d", sumG, n)
+	}
+	out := New(eps)
+	out.n = n
+	out.tuples = tuples
+	*s = *out
+	return nil
+}

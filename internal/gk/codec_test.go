@@ -1,0 +1,77 @@
+package gk
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := New(0.02)
+	for _, v := range gen.NormalValues(30000, 21) {
+		s.Update(v)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.N() || got.Epsilon() != s.Epsilon() || got.Size() != s.Size() {
+		t.Fatal("round-trip changed header state")
+	}
+	for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got.Quantile(phi) != s.Quantile(phi) {
+			t.Errorf("phi=%v: %v != %v", phi, got.Quantile(phi), s.Quantile(phi))
+		}
+	}
+	if err := got.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	s := New(0.1)
+	s.Update(1)
+	s.Update(2)
+	data, _ := s.MarshalBinary()
+	data[len(data)-5] ^= 0xff
+	var got Summary
+	if err := got.UnmarshalBinary(data); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}
+
+func TestCodecRejectsInconsistentWeight(t *testing.T) {
+	s := New(0.1)
+	for _, v := range gen.UniformValues(100, 1) {
+		s.Update(v)
+	}
+	s.Flush()
+	s.n++ // corrupt the in-memory state before encoding
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := got.UnmarshalBinary(data); err == nil {
+		t.Fatal("inconsistent weight accepted")
+	}
+}
+
+func TestCodecEmptySummary(t *testing.T) {
+	s := New(0.1)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 0 || got.Size() != 0 {
+		t.Fatal("empty round-trip not empty")
+	}
+}

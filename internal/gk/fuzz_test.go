@@ -1,0 +1,26 @@
+package gk
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	s := New(0.05)
+	for _, v := range gen.UniformValues(500, 1) {
+		s.Update(v)
+	}
+	seed, _ := s.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Summary
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if _, err := out.MarshalBinary(); err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+	})
+}

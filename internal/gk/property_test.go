@@ -1,0 +1,87 @@
+package gk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sanitize(vals []float64) []float64 {
+	out := vals[:0]
+	for _, v := range vals {
+		if v == v { // drop NaN
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Property: the GK invariants (sorted tuples, Σg = n, g+Δ ≤ 2εn) hold
+// after any sequence of updates, for several ε values.
+func TestPropertyInvariants(t *testing.T) {
+	f := func(vals []float64, epsRaw uint8) bool {
+		eps := []float64{0.5, 0.1, 0.02}[epsRaw%3]
+		s := New(eps)
+		for _, v := range sanitize(vals) {
+			s.Update(v)
+		}
+		s.Flush()
+		return s.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: invariants survive any two-way merge split.
+func TestPropertyMergeInvariants(t *testing.T) {
+	f := func(vals []float64, cut uint8) bool {
+		clean := sanitize(vals)
+		split := 0
+		if len(clean) > 0 {
+			split = int(cut) % (len(clean) + 1)
+		}
+		a, b := New(0.1), New(0.1)
+		for i, v := range clean {
+			if i < split {
+				a.Update(v)
+			} else {
+				b.Update(v)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.N() != uint64(len(clean)) {
+			return false
+		}
+		return a.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RankBounds always bracket Rank, and Rank is monotone.
+func TestPropertyRankBoundsBracket(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		if q1 != q1 || q2 != q2 {
+			return true
+		}
+		s := New(0.1)
+		for _, v := range sanitize(vals) {
+			s.Update(v)
+		}
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		lo1, hi1 := s.RankBounds(q1)
+		r1 := s.Rank(q1)
+		if r1 < lo1 || r1 > hi1 {
+			return false
+		}
+		return s.Rank(q1) <= s.Rank(q2) && s.Rank(q2) <= s.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	k := New(24)
+	for _, p := range gen.RingPoints(2000, 1.5, 0.05, 7) {
+		k.Update(p)
+	}
+	data, err := k.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Kernel
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != k.N() || got.Directions() != k.Directions() || got.Size() != k.Size() {
+		t.Fatal("round trip changed header")
+	}
+	for i := 0; i < 2*24; i++ {
+		wv, wok := k.GridSupport(i)
+		gv, gok := got.GridSupport(i)
+		if wok != gok || wv != gv {
+			t.Fatalf("slot %d differs after round trip", i)
+		}
+	}
+	for _, theta := range []float64{0, 0.5, 1.2, math.Pi - 0.1} {
+		if got.Width(theta) != k.Width(theta) {
+			t.Fatalf("width differs at theta=%v", theta)
+		}
+	}
+	// Decoded kernels keep merging.
+	other := New(24)
+	other.Update(gen.Point{X: 100, Y: 0})
+	if err := got.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if got.Width(0) <= k.Width(0) {
+		t.Fatal("merge after decode had no effect")
+	}
+}
+
+func TestCodecEmptyKernel(t *testing.T) {
+	k := New(4)
+	data, err := k.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Kernel
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 0 || got.N() != 0 {
+		t.Fatal("empty round trip not empty")
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	k := New(4)
+	k.Update(gen.Point{X: 1, Y: 2})
+	data, _ := k.MarshalBinary()
+	data[len(data)-5] ^= 0xff
+	var got Kernel
+	if err := got.UnmarshalBinary(data); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	k := New(8)
+	for _, p := range gen.UniformPoints(100, 1) {
+		k.Update(p)
+	}
+	seed, _ := k.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Kernel
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if _, err := out.MarshalBinary(); err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"m=1":   func() { New(1) },
+		"eps=0": func() { NewEpsilon(0) },
+		"eps=1": func() { NewEpsilon(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSizeBounded(t *testing.T) {
+	k := New(16)
+	for _, p := range gen.RingPoints(10000, 1, 0.05, 1) {
+		k.Update(p)
+	}
+	if k.Size() > 32 {
+		t.Errorf("size %d exceeds 2m = 32", k.Size())
+	}
+	if len(k.Points()) > 32 {
+		t.Errorf("%d distinct points exceed 2m", len(k.Points()))
+	}
+	if k.N() != 10000 {
+		t.Errorf("N = %d", k.N())
+	}
+}
+
+// The kernel's width never exceeds the true width and is within the
+// grid discretization of it, across the direction sweep.
+func TestWidthGuarantee(t *testing.T) {
+	const n = 20000
+	eps := 0.05
+	for name, pts := range map[string][]gen.Point{
+		"ring":     gen.RingPoints(n, 2, 0.02, 1),
+		"gaussian": gen.GaussianPoints(n, 3, 1, math.Pi/7, 2),
+		"uniform":  gen.UniformPoints(n, 3),
+	} {
+		k := NewEpsilon(eps)
+		for _, p := range pts {
+			k.Update(p)
+		}
+		for i := 0; i < 64; i++ {
+			theta := math.Pi * float64(i) / 64
+			truth := exact.DirectionalWidth(pts, theta)
+			got := k.Width(theta)
+			if got > truth+1e-9 {
+				t.Fatalf("%s theta=%v: kernel width %v exceeds true %v", name, theta, got, truth)
+			}
+			if truth > 0 && (truth-got)/truth > eps {
+				t.Errorf("%s theta=%v: relative width error %v > eps=%v",
+					name, theta, (truth-got)/truth, eps)
+			}
+		}
+	}
+}
+
+// Mergeability is exact on the grid: a kernel merged over any
+// partitioning supports exactly the same grid extremes as a kernel
+// built over the whole set.
+func TestMergeLossless(t *testing.T) {
+	const n = 10000
+	pts := gen.GaussianPoints(n, 2, 0.7, 0.3, 5)
+	whole := New(24)
+	for _, p := range pts {
+		whole.Update(p)
+	}
+	parts := gen.PartitionRandomSizes(pts, 7, 3)
+	ks := make([]*Kernel, len(parts))
+	for i, p := range parts {
+		ks[i] = New(24)
+		for _, pt := range p {
+			ks[i].Update(pt)
+		}
+	}
+	for len(ks) > 1 {
+		var next []*Kernel
+		for i := 0; i+1 < len(ks); i += 2 {
+			if err := ks[i].Merge(ks[i+1]); err != nil {
+				t.Fatal(err)
+			}
+			next = append(next, ks[i])
+		}
+		if len(ks)%2 == 1 {
+			next = append(next, ks[len(ks)-1])
+		}
+		ks = next
+	}
+	m := ks[0]
+	if m.N() != n {
+		t.Fatalf("N = %d", m.N())
+	}
+	for slot := 0; slot < 48; slot++ {
+		wv, wok := whole.GridSupport(slot)
+		mv, mok := m.GridSupport(slot)
+		if wok != mok {
+			t.Fatalf("slot %d: presence differs", slot)
+		}
+		if wok && wv != mv {
+			t.Fatalf("slot %d: support %v != %v after merge", slot, mv, wv)
+		}
+	}
+	// Consequently widths agree exactly too.
+	for i := 0; i < 32; i++ {
+		theta := math.Pi * float64(i) / 32
+		if math.Abs(whole.Width(theta)-m.Width(theta)) > 1e-12 {
+			t.Fatalf("width differs at theta=%v", theta)
+		}
+	}
+}
+
+func TestMergeMismatched(t *testing.T) {
+	a := New(8)
+	if err := a.Merge(New(16)); err == nil {
+		t.Error("mismatched m accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	a := New(8)
+	for _, p := range gen.UniformPoints(100, 1) {
+		a.Update(p)
+	}
+	w := a.Width(0.5)
+	if err := a.Merge(New(8)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Width(0.5) != w || a.N() != 100 {
+		t.Fatal("merge with empty changed state")
+	}
+	empty := New(8)
+	if err := empty.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Width(0.5) != w {
+		t.Fatal("merge into empty lost extremes")
+	}
+}
+
+func TestEmptyKernel(t *testing.T) {
+	k := New(4)
+	if k.Width(1) != 0 {
+		t.Error("empty width should be 0")
+	}
+	if k.Size() != 0 || len(k.Points()) != 0 {
+		t.Error("empty kernel not empty")
+	}
+}
+
+func TestCloneReset(t *testing.T) {
+	k := New(4)
+	k.Update(gen.Point{X: 1, Y: 2})
+	c := k.Clone()
+	c.Update(gen.Point{X: 5, Y: 5})
+	if c.N() != 2 || k.N() != 1 {
+		t.Fatal("clone not independent")
+	}
+	k.Reset()
+	if k.N() != 0 || k.Size() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestGridSupportPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slot did not panic")
+		}
+	}()
+	New(4).GridSupport(99)
+}
+
+func TestSinglePoint(t *testing.T) {
+	k := New(8)
+	k.Update(gen.Point{X: 3, Y: 4})
+	if w := k.Width(0.7); w != 0 {
+		t.Errorf("single-point width = %v, want 0", w)
+	}
+	if len(k.Points()) != 1 {
+		t.Errorf("points = %v", k.Points())
+	}
+}

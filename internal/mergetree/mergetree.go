@@ -1,0 +1,170 @@
+// Package mergetree orchestrates merges of summaries over different
+// aggregation topologies. The PODS'12 mergeability definition demands
+// that a summary's guarantees hold for *every* merge order; these
+// helpers are how the experiments and tests exercise that universal
+// quantifier: the same partition list is folded sequentially (one-way
+// streaming), as a balanced binary tree (MapReduce-style), in a random
+// order (ad-hoc gossip), and concurrently.
+//
+// All helpers are generic over the summary type; the merge callback
+// folds src into dst (dst.Merge(src) for every summary in this
+// repository). The parts slice is consumed: callers must not reuse the
+// summaries afterwards.
+package mergetree
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/gen"
+)
+
+// MergeFunc folds src into dst.
+type MergeFunc[S any] func(dst, src S) error
+
+// ErrNoParts is returned when an empty partition list is folded.
+var ErrNoParts = errors.New("mergetree: no summaries to merge")
+
+// Sequential folds parts left to right: ((p0 ⊎ p1) ⊎ p2) ⊎ … — the
+// one-way/streaming topology (also the star topology from the
+// aggregator's point of view).
+func Sequential[S any](parts []S, merge MergeFunc[S]) (S, error) {
+	var zero S
+	if len(parts) == 0 {
+		return zero, ErrNoParts
+	}
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		if err := merge(acc, p); err != nil {
+			return zero, err
+		}
+	}
+	return acc, nil
+}
+
+// Binary folds parts as a balanced binary tree: pairs are merged,
+// then pairs of results, and so on — the MapReduce/combiner topology.
+func Binary[S any](parts []S, merge MergeFunc[S]) (S, error) {
+	var zero S
+	if len(parts) == 0 {
+		return zero, ErrNoParts
+	}
+	for len(parts) > 1 {
+		next := parts[:0]
+		for i := 0; i+1 < len(parts); i += 2 {
+			if err := merge(parts[i], parts[i+1]); err != nil {
+				return zero, err
+			}
+			next = append(next, parts[i])
+		}
+		if len(parts)%2 == 1 {
+			next = append(next, parts[len(parts)-1])
+		}
+		parts = next
+	}
+	return parts[0], nil
+}
+
+// Random repeatedly merges two uniformly chosen summaries until one
+// remains — the adversarial "arbitrary order" topology of the
+// mergeability definition, deterministic per seed.
+func Random[S any](parts []S, seed uint64, merge MergeFunc[S]) (S, error) {
+	var zero S
+	if len(parts) == 0 {
+		return zero, ErrNoParts
+	}
+	rng := gen.NewRNG(seed)
+	live := append([]S(nil), parts...)
+	for len(live) > 1 {
+		i := rng.Intn(len(live))
+		j := rng.Intn(len(live) - 1)
+		if j >= i {
+			j++
+		}
+		if err := merge(live[i], live[j]); err != nil {
+			return zero, err
+		}
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	return live[0], nil
+}
+
+// Parallel folds parts with up to workers concurrent binary merges —
+// the topology a multi-core aggregator actually runs. Each summary is
+// owned by exactly one goroutine at a time, so the summaries
+// themselves need no locking. The first merge error aborts the fold.
+func Parallel[S any](parts []S, workers int, merge MergeFunc[S]) (S, error) {
+	var zero S
+	if len(parts) == 0 {
+		return zero, ErrNoParts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Work-stealing reduction: a channel holds mergeable summaries;
+	// each worker takes two, merges, and puts the result back.
+	pending := make(chan S, len(parts))
+	for _, p := range parts {
+		pending <- p
+	}
+	remaining := len(parts)
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || remaining <= 1 {
+					mu.Unlock()
+					return
+				}
+				remaining--
+				mu.Unlock()
+				// Claim two summaries. remaining was decremented by
+				// one because two leave and one returns.
+				a := <-pending
+				b := <-pending
+				if err := merge(a, b); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					remaining++ // undo; no result was produced
+					mu.Unlock()
+					// Return both inputs so workers blocked on the
+					// channel can always make progress.
+					pending <- a
+					pending <- b
+					return
+				}
+				pending <- a
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return zero, firstErr
+	}
+	return <-pending, nil
+}
+
+// BuildAndMerge constructs one summary per partition with build, then
+// folds them with the chosen topology. It is the common shape of every
+// distributed experiment in this repository.
+func BuildAndMerge[S any, T any](
+	parts [][]T,
+	build func(part []T) S,
+	fold func(parts []S, merge MergeFunc[S]) (S, error),
+	merge MergeFunc[S],
+) (S, error) {
+	summaries := make([]S, len(parts))
+	for i, p := range parts {
+		summaries[i] = build(p)
+	}
+	return fold(summaries, merge)
+}

@@ -1,0 +1,52 @@
+package mg
+
+import (
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// MarshalBinary encodes the summary in the library's framed wire
+// format (see package codec). It implements encoding.BinaryMarshaler.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	var w codec.Buffer
+	w.Int(s.k)
+	w.Uint64(s.n)
+	w.Uint64(s.dec)
+	cs := s.Counters()
+	w.Int(len(cs))
+	for _, c := range cs {
+		w.Uint64(uint64(c.Item))
+		w.Uint64(c.Count)
+	}
+	return codec.EncodeFrame(codec.KindMisraGries, w.Bytes()), nil
+}
+
+// UnmarshalBinary decodes a summary previously encoded with
+// MarshalBinary, replacing the receiver's contents. It implements
+// encoding.BinaryUnmarshaler.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindMisraGries, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	k := r.Int()
+	n := r.Uint64()
+	dec := r.Uint64()
+	m := r.ArrayLen(2)
+	cs := make([]core.Counter, 0, m)
+	for i := 0; i < m; i++ {
+		item := core.Item(r.Uint64())
+		count := r.Uint64()
+		cs = append(cs, core.Counter{Item: item, Count: count})
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	dec2, err := FromCounters(k, n, dec, cs)
+	if err != nil {
+		return err
+	}
+	*s = *dec2
+	return nil
+}

@@ -1,0 +1,28 @@
+package mg
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// FuzzUnmarshal: no byte sequence may panic the decoder, and anything
+// it accepts must re-marshal cleanly.
+func FuzzUnmarshal(f *testing.F) {
+	s := New(8)
+	for _, x := range gen.NewZipf(50, 1.2, 1).Stream(500) {
+		s.Update(x, 1)
+	}
+	seed, _ := s.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Summary
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if _, err := out.MarshalBinary(); err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+	})
+}

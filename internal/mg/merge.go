@@ -1,0 +1,89 @@
+package mg
+
+import (
+	"repro/internal/core"
+)
+
+// Merge folds other into s using the PODS'12 algorithm (Agarwal et al.,
+// §2): counters are added pointwise, and if more than k counters remain
+// the (k+1)-th largest count is subtracted from all of them, keeping
+// only the strictly positive ones. The error bound of the result is at
+// most (s.n + other.n)/(k+1) — the same ε as the inputs (Theorem 2.2).
+//
+// other is not modified. Merging summaries with different k fails.
+func (s *Summary) Merge(other *Summary) error {
+	if other == nil {
+		return core.ErrNilSummary
+	}
+	if s.k != other.k {
+		return core.ErrMismatchedK
+	}
+	for x, v := range other.counters {
+		s.counters[x] += v
+	}
+	s.n += other.n
+	s.dec += other.dec
+	s.prune()
+	return nil
+}
+
+// Merged returns the PODS'12 merge of a and b without modifying either.
+func Merged(a, b *Summary) (*Summary, error) {
+	out := a.Clone()
+	if err := out.Merge(b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CombinedCounters returns the exact pointwise sum of the two
+// summaries' counters in ascending order — the intermediate multiset S
+// both merge algorithms start from. Exposed for the total-error
+// experiments, which compare each merge's output against it.
+func CombinedCounters(a, b *Summary) []core.Counter {
+	m := make(map[core.Item]uint64, len(a.counters)+len(b.counters))
+	for x, v := range a.counters {
+		m[x] += v
+	}
+	for x, v := range b.counters {
+		m[x] += v
+	}
+	out := make([]core.Counter, 0, len(m))
+	for x, v := range m {
+		out = append(out, core.Counter{Item: x, Count: v})
+	}
+	core.SortCountersAsc(out)
+	return out
+}
+
+// TotalMergeError measures the total error a merge committed relative
+// to the combined (pre-prune) summary: the sum over the merged
+// summary's monitored items of combined(x) − merged(x). This is the
+// E_T metric of the supplied follow-up text (its §5 examples), which
+// both its algorithms and the PODS'12 algorithm are scored by.
+func TotalMergeError(combined []core.Counter, merged *Summary) uint64 {
+	var te uint64
+	for _, c := range combined {
+		if got, ok := merged.counters[c.Item]; ok {
+			if got > c.Count {
+				// A merge must never raise a count above the combined
+				// value; flag it loudly in experiments.
+				panic("mg: merged count exceeds combined count")
+			}
+			te += c.Count - got
+		}
+	}
+	return te
+}
+
+// DroppedMergeError complements TotalMergeError: the combined weight of
+// items the merge dropped entirely.
+func DroppedMergeError(combined []core.Counter, merged *Summary) uint64 {
+	var te uint64
+	for _, c := range combined {
+		if _, ok := merged.counters[c.Item]; !ok {
+			te += c.Count
+		}
+	}
+	return te
+}

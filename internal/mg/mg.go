@@ -1,0 +1,194 @@
+// Package mg implements the Misra–Gries (a.k.a. Frequent) heavy-hitter
+// summary and its merge operations.
+//
+// A Summary with k counters processes a stream of total weight n and
+// guarantees, for every item x with true frequency f(x):
+//
+//	f(x) − n/(k+1) ≤ Estimate(x) ≤ f(x)
+//
+// i.e. MG never overestimates and undercounts by at most n/(k+1). The
+// PODS'12 result reproduced here (Theorem 2.2 of Agarwal, Cormode,
+// Huang, Phillips, Wei, Yi, "Mergeable Summaries") is that this summary
+// is fully mergeable: Merge preserves both the size k and the error
+// bound (n1+n2)/(k+1) under arbitrary merge trees.
+//
+// Two merge algorithms are provided:
+//
+//   - Merge: the PODS'12 algorithm — add counters pointwise, then prune
+//     back to k counters by subtracting the (k+1)-th largest count.
+//   - MergeLowError: the low-total-error variant (Algorithm 2 of the
+//     supplied follow-up text by Cafaro, Tempesta and Pulimeno), which
+//     produces exactly the summary an MG run over the combined counters
+//     would produce, via closed-form equations. Same bound, same O(k)
+//     cost, strictly smaller total error except in degenerate cases.
+package mg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Summary is a Misra–Gries summary. The zero value is not usable; use
+// New. Summaries are not safe for concurrent use.
+type Summary struct {
+	k        int
+	n        uint64
+	counters map[core.Item]uint64
+	// dec is the cumulative undercount bound: the total amount that
+	// pruning has subtracted along any single counter's history. The
+	// MG invariant is dec ≤ n/(k+1).
+	dec uint64
+}
+
+// New returns an empty summary with capacity k >= 1 counters.
+func New(k int) *Summary {
+	if k < 1 {
+		panic("mg: k must be >= 1")
+	}
+	return &Summary{k: k, counters: make(map[core.Item]uint64, k+1)}
+}
+
+// NewEpsilon returns a summary sized for frequency error at most eps*n,
+// i.e. k = ceil(1/eps) - 1 counters (bound n/(k+1) <= eps*n).
+func NewEpsilon(eps float64) *Summary {
+	if eps <= 0 || eps >= 1 {
+		panic("mg: eps must be in (0, 1)")
+	}
+	k := int(1/eps+0.9999999) - 1
+	if k < 1 {
+		k = 1
+	}
+	return New(k)
+}
+
+// FromCounters reconstructs a summary from explicit counters, as used
+// by the codec and by tests that replay the paper's worked examples.
+// n is the total summarized weight and dec the accumulated undercount
+// bound. It returns an error if the counters exceed k, repeat an item,
+// or contain a zero count.
+func FromCounters(k int, n, dec uint64, cs []core.Counter) (*Summary, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("mg: k must be >= 1, have %d", k)
+	}
+	if len(cs) > k {
+		return nil, fmt.Errorf("mg: %d counters exceed k=%d", len(cs), k)
+	}
+	s := New(k)
+	s.n = n
+	s.dec = dec
+	for _, c := range cs {
+		if c.Count == 0 {
+			return nil, fmt.Errorf("mg: zero count for item %d", c.Item)
+		}
+		if _, dup := s.counters[c.Item]; dup {
+			return nil, fmt.Errorf("mg: duplicate item %d", c.Item)
+		}
+		s.counters[c.Item] = c.Count
+	}
+	return s, nil
+}
+
+// K returns the counter capacity.
+func (s *Summary) K() int { return s.k }
+
+// N returns the total weight summarized, including merged-in weight.
+func (s *Summary) N() uint64 { return s.n }
+
+// Len returns the number of monitored items (<= K).
+func (s *Summary) Len() int { return len(s.counters) }
+
+// ErrorBound returns the realized undercount bound: for every item,
+// f(x) − Estimate(x).Value <= ErrorBound(). It is always <= n/(k+1).
+func (s *Summary) ErrorBound() uint64 { return s.dec }
+
+// Update adds w >= 1 occurrences of x.
+func (s *Summary) Update(x core.Item, w uint64) {
+	if w == 0 {
+		panic("mg: zero-weight update")
+	}
+	s.n += w
+	s.counters[x] += w
+	if len(s.counters) > s.k {
+		s.prune()
+	}
+}
+
+// prune restores len(counters) <= k by subtracting the (k+1)-th largest
+// count from every counter and discarding non-positive ones — the
+// PODS'12 reduction. It increases dec by the subtracted amount.
+func (s *Summary) prune() {
+	m := len(s.counters)
+	if m <= s.k {
+		return
+	}
+	// The (k+1)-th largest is the (m-k)-th smallest.
+	vals := make([]uint64, 0, m)
+	for _, v := range s.counters {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	cut := vals[m-s.k-1]
+	for x, v := range s.counters {
+		if v <= cut {
+			delete(s.counters, x)
+		} else {
+			s.counters[x] = v - cut
+		}
+	}
+	s.dec += cut
+}
+
+// Estimate answers a point query. For monitored items the interval is
+// [count, count+dec]; for unmonitored items it is [0, dec].
+func (s *Summary) Estimate(x core.Item) core.Estimate {
+	c := s.counters[x]
+	return core.Estimate{Value: c, Lower: c, Upper: c + s.dec}
+}
+
+// Counters returns the monitored (item, count) pairs in ascending count
+// order (ties by item). The slice is freshly allocated.
+func (s *Summary) Counters() []core.Counter {
+	out := make([]core.Counter, 0, len(s.counters))
+	for x, v := range s.counters {
+		out = append(out, core.Counter{Item: x, Count: v})
+	}
+	core.SortCountersAsc(out)
+	return out
+}
+
+// HeavyHitters returns every monitored item whose estimate interval
+// can reach threshold, i.e. all candidates with count+dec >= threshold,
+// in descending count order. By the MG guarantee this includes every
+// item with true frequency >= threshold.
+func (s *Summary) HeavyHitters(threshold uint64) []core.Counter {
+	var out []core.Counter
+	for x, v := range s.counters {
+		if v+s.dec >= threshold {
+			out = append(out, core.Counter{Item: x, Count: v})
+		}
+	}
+	core.SortCountersDesc(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Summary) Clone() *Summary {
+	c := New(s.k)
+	c.n = s.n
+	c.dec = s.dec
+	for x, v := range s.counters {
+		c.counters[x] = v
+	}
+	return c
+}
+
+// Reset restores the summary to its freshly-constructed state.
+func (s *Summary) Reset() {
+	s.n = 0
+	s.dec = 0
+	clear(s.counters)
+}
+
+var _ core.CounterSummary = (*Summary)(nil)

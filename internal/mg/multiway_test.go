@@ -1,0 +1,114 @@
+package mg
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestMergeManyBasics(t *testing.T) {
+	if _, err := MergeMany(nil); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := MergeMany([]*Summary{New(4), nil}); err == nil {
+		t.Error("nil element accepted")
+	}
+	if _, err := MergeMany([]*Summary{New(4), New(8)}); err == nil {
+		t.Error("mismatched k accepted")
+	}
+	a, b := New(4), New(4)
+	a.Update(1, 5)
+	b.Update(2, 3)
+	m, err := MergeMany([]*Summary{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 8 || m.Estimate(1).Value != 5 || m.Estimate(2).Value != 3 {
+		t.Fatal("two-way MergeMany wrong")
+	}
+	// Inputs untouched.
+	if a.N() != 5 || b.N() != 3 {
+		t.Fatal("MergeMany modified inputs")
+	}
+}
+
+// MergeMany must stay within the single-summary bound and never
+// overestimate, over many sites with disjoint supports.
+func TestMergeManyGuarantee(t *testing.T) {
+	const n = 120000
+	const k = 32
+	const sites = 24
+	stream := gen.NewZipf(3000, 1.2, 7).Stream(n)
+	truth := exact.FreqOf(stream)
+	parts := gen.PartitionByHash(stream, sites, func(x core.Item) uint64 { return uint64(x) * 0x9e3779b1 })
+	sums := make([]*Summary, sites)
+	for i, p := range parts {
+		sums[i] = New(k)
+		for _, x := range p {
+			sums[i].Update(x, 1)
+		}
+	}
+	m, err := MergeMany(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != n || m.Len() > k {
+		t.Fatalf("N=%d Len=%d", m.N(), m.Len())
+	}
+	if m.ErrorBound() > core.MGBound(n, k) {
+		t.Errorf("bound %d > %d", m.ErrorBound(), core.MGBound(n, k))
+	}
+	for _, c := range truth.Counters() {
+		e := m.Estimate(c.Item)
+		if e.Value > c.Count || !e.Contains(c.Count) {
+			t.Fatalf("item %d: interval %v vs true %d", c.Item, e, c.Count)
+		}
+	}
+}
+
+// The point of multiway merging: total error at most the pairwise
+// chain's on the same inputs (single prune vs repeated prunes).
+func TestMergeManyBeatsChain(t *testing.T) {
+	const n = 100000
+	const k = 64
+	const sites = 16
+	for seed := uint64(1); seed <= 5; seed++ {
+		stream := gen.NewZipf(2000, 1.3, seed).Stream(n)
+		truth := exact.FreqOf(stream)
+		parts := gen.PartitionByHash(stream, sites, func(x core.Item) uint64 { return uint64(x) * 0x85ebca6b })
+		build := func() []*Summary {
+			sums := make([]*Summary, sites)
+			for i, p := range parts {
+				sums[i] = New(k)
+				for _, x := range p {
+					sums[i].Update(x, 1)
+				}
+			}
+			return sums
+		}
+		sumAbs := func(s *Summary) uint64 {
+			var te uint64
+			for _, c := range truth.Counters() {
+				e := s.Estimate(c.Item)
+				te += c.Count - e.Value // MG never overestimates
+			}
+			return te
+		}
+		multi, err := MergeMany(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		chainParts := build()
+		chain := chainParts[0]
+		for _, s := range chainParts[1:] {
+			if err := chain.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sumAbs(multi) > sumAbs(chain) {
+			t.Errorf("seed %d: multiway error %d > chain error %d", seed, sumAbs(multi), sumAbs(chain))
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package qdigest
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	d := NewEpsilon(10, 0.1)
+	rng := gen.NewRNG(1)
+	for i := 0; i < 2000; i++ {
+		d.Update(rng.Uint64n(1<<10), 1)
+	}
+	seed, _ := d.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Digest
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if _, err := out.MarshalBinary(); err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package qdigest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Rank never overestimates and undershoots by at most the
+// deterministic bound, for any stream and split.
+func TestPropertyRankBound(t *testing.T) {
+	f := func(raw []byte, kRaw uint8, cut uint8) bool {
+		k := uint64(kRaw%32) + 1
+		const logU = 8
+		a, b := New(logU, k), New(logU, k)
+		counts := make(map[uint64]uint64)
+		split := 0
+		if len(raw) > 0 {
+			split = int(cut) % (len(raw) + 1)
+		}
+		var n uint64
+		for i, bv := range raw {
+			v := uint64(bv)
+			if i < split {
+				a.Update(v, 1)
+			} else {
+				b.Update(v, 1)
+			}
+			counts[v]++
+			n++
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.N() != n {
+			return false
+		}
+		if err := a.checkInvariants(); err != nil {
+			return false
+		}
+		bound := a.ErrorBound()
+		for _, q := range []uint64{0, 31, 127, 255} {
+			var truth uint64
+			for v, c := range counts {
+				if v <= q {
+					truth += c
+				}
+			}
+			got := a.Rank(q)
+			if got > truth {
+				return false
+			}
+			if truth-got > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging equals building one digest over the concatenated
+// stream, up to the compression bound (both satisfy the same rank
+// envelope against the truth).
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		k := uint64(kRaw%32) + 1
+		d := New(8, k)
+		for _, bv := range raw {
+			d.Update(uint64(bv), 1)
+		}
+		data, err := d.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Digest
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if got.N() != d.N() || got.Size() != d.Size() {
+			return false
+		}
+		for _, q := range []uint64{0, 100, 255} {
+			if got.Rank(q) != d.Rank(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package randquant
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	s := New(8, 1)
+	for _, v := range gen.UniformValues(500, 1) {
+		s.Update(v)
+	}
+	plain, _ := s.MarshalBinary()
+	h := NewHybrid(8, 3, 1)
+	for _, v := range gen.UniformValues(5000, 2) {
+		h.Update(v)
+	}
+	hybrid, _ := h.MarshalBinary()
+	f.Add(plain)
+	f.Add(hybrid)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Summary
+		if err := out.UnmarshalBinary(data); err == nil {
+			if err := out.checkInvariants(); err != nil {
+				t.Fatalf("accepted plain frame violates invariants: %v", err)
+			}
+		}
+		var oh Hybrid
+		if err := oh.UnmarshalBinary(data); err == nil {
+			if err := oh.checkInvariants(); err != nil {
+				t.Fatalf("accepted hybrid frame violates invariants: %v", err)
+			}
+		}
+	})
+}

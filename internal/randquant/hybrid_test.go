@@ -1,0 +1,221 @@
+package randquant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestHybridExactWhenSmall(t *testing.T) {
+	h := NewHybrid(100, 3, 1)
+	vals := []float64{5, 1, 9, 3, 7}
+	for _, v := range vals {
+		h.Update(v)
+	}
+	if h.SampleLevel() != 0 {
+		t.Fatal("sampling active on tiny input")
+	}
+	if r := h.Rank(4); r != 2 {
+		t.Errorf("Rank(4) = %d, want 2", r)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+}
+
+// The hybrid's reason to exist: size stays bounded by ~s*(l+1) no
+// matter how large n grows, unlike the plain summary whose level count
+// grows with log(n).
+func TestHybridSizeIndependentOfN(t *testing.T) {
+	const s, l = 32, 4
+	h := NewHybrid(s, l, 5)
+	cap := s * (l + 2)
+	for i, v := range gen.UniformValues(1<<18, 3) {
+		h.Update(v)
+		if i%50000 == 0 {
+			if h.Size() > cap {
+				t.Fatalf("at n=%d: size %d exceeds cap %d", i+1, h.Size(), cap)
+			}
+		}
+	}
+	if h.Size() > cap {
+		t.Fatalf("final size %d exceeds cap %d", h.Size(), cap)
+	}
+	if h.SampleLevel() == 0 {
+		t.Fatal("sampling never activated on a large stream")
+	}
+	if err := h.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridStreamGuarantee(t *testing.T) {
+	const n = 200000
+	eps := 0.05
+	for name, vals := range map[string][]float64{
+		"uniform": gen.UniformValues(n, 1),
+		"normal":  gen.NormalValues(n, 2),
+	} {
+		h := NewHybridEpsilon(eps, 42)
+		for _, v := range vals {
+			h.Update(v)
+		}
+		oracle := exact.QuantilesOf(vals)
+		slack := uint64(eps*float64(n)) + 2
+		for _, phi := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			if e := rankError(oracle, h.Quantile(phi), phi, n); e > slack {
+				t.Errorf("%s phi=%v: rank error %d > %d", name, phi, e, slack)
+			}
+		}
+		if err := h.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// StoredWeight must track N closely once sampling is active (it is an
+// unbiased estimator).
+func TestHybridWeightEstimate(t *testing.T) {
+	const n = 1 << 17
+	h := NewHybrid(64, 4, 9)
+	for _, v := range gen.UniformValues(n, 4) {
+		h.Update(v)
+	}
+	w := float64(h.StoredWeight())
+	if math.Abs(w-n)/n > 0.10 {
+		t.Errorf("stored weight %v deviates more than 10%% from n=%d", w, n)
+	}
+}
+
+func TestHybridMergeGuarantee(t *testing.T) {
+	const n = 160000
+	eps := 0.05
+	vals := gen.NormalValues(n, 77)
+	oracle := exact.QuantilesOf(vals)
+	parts := gen.PartitionRandomSizes(vals, 16, 2)
+	hs := make([]*Hybrid, len(parts))
+	for i, p := range parts {
+		hs[i] = NewHybridEpsilon(eps, uint64(i)*7+1)
+		for _, v := range p {
+			hs[i].Update(v)
+		}
+	}
+	for len(hs) > 1 {
+		var next []*Hybrid
+		for i := 0; i+1 < len(hs); i += 2 {
+			if err := hs[i].Merge(hs[i+1]); err != nil {
+				t.Fatal(err)
+			}
+			next = append(next, hs[i])
+		}
+		if len(hs)%2 == 1 {
+			next = append(next, hs[len(hs)-1])
+		}
+		hs = next
+	}
+	m := hs[0]
+	if m.N() != n {
+		t.Fatalf("N = %d, want %d", m.N(), n)
+	}
+	if err := m.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	slack := uint64(eps*float64(n)) + 2
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if e := rankError(oracle, m.Quantile(phi), phi, n); e > slack {
+			t.Errorf("phi=%v: rank error %d > %d", phi, e, slack)
+		}
+	}
+}
+
+// Merging hybrids at different sampling levels must align them without
+// touching the argument.
+func TestHybridMergeDifferentLevels(t *testing.T) {
+	big := NewHybrid(32, 3, 1)
+	for _, v := range gen.UniformValues(1<<16, 2) {
+		big.Update(v)
+	}
+	small := NewHybrid(32, 3, 2)
+	for _, v := range gen.UniformValues(500, 3) {
+		small.Update(v)
+	}
+	if big.SampleLevel() == small.SampleLevel() {
+		t.Fatal("test needs distinct sample levels")
+	}
+	sn, ssize, slevel := small.N(), small.Size(), small.SampleLevel()
+	if err := big.Merge(small); err != nil {
+		t.Fatal(err)
+	}
+	if small.N() != sn || small.Size() != ssize || small.SampleLevel() != slevel {
+		t.Fatal("merge modified the argument")
+	}
+	if err := big.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// And the mirror case: small (low ell) absorbing big (high ell).
+	small2 := NewHybrid(32, 3, 4)
+	for _, v := range gen.UniformValues(500, 5) {
+		small2.Update(v)
+	}
+	big2 := NewHybrid(32, 3, 6)
+	for _, v := range gen.UniformValues(1<<16, 7) {
+		big2.Update(v)
+	}
+	if err := small2.Merge(big2); err != nil {
+		t.Fatal(err)
+	}
+	if small2.N() != 500+1<<16 {
+		t.Fatalf("N = %d", small2.N())
+	}
+	if err := small2.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridMergeMismatched(t *testing.T) {
+	a := NewHybrid(8, 3, 1)
+	if err := a.Merge(NewHybrid(16, 3, 1)); err == nil {
+		t.Error("mismatched s accepted")
+	}
+	if err := a.Merge(NewHybrid(8, 4, 1)); err == nil {
+		t.Error("mismatched l accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestHybridCodecRoundTrip(t *testing.T) {
+	h := NewHybrid(32, 4, 11)
+	for _, v := range gen.NormalValues(1<<15, 6) {
+		h.Update(v)
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Hybrid
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != h.N() || got.Size() != h.Size() || got.SampleLevel() != h.SampleLevel() {
+		t.Fatal("round-trip changed state")
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if got.Quantile(phi) != h.Quantile(phi) {
+			t.Errorf("phi=%v differs after round trip", phi)
+		}
+	}
+	if err := got.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridEmptyQuantile(t *testing.T) {
+	h := NewHybrid(8, 3, 1)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("Quantile on empty hybrid should be NaN")
+	}
+}

@@ -1,0 +1,99 @@
+package randquant
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: weight conservation — the hierarchy represents every
+// insert exactly once through any interleaving of updates and merges.
+func TestPropertyWeightConservation(t *testing.T) {
+	f := func(vals []float64, sRaw uint8, splits []bool) bool {
+		s := int(sRaw%16) + 1
+		for i, v := range vals {
+			if v != v { // NaN
+				vals[i] = 0
+			}
+		}
+		// Scatter values over three summaries, merge them pairwise.
+		sums := []*Summary{New(s, 1), New(s, 2), New(s, 3)}
+		for i, v := range vals {
+			sums[i%3].Update(v)
+		}
+		order := []int{0, 1, 2}
+		if len(splits) > 0 && splits[0] {
+			order = []int{2, 0, 1}
+		}
+		acc := sums[order[0]]
+		if err := acc.Merge(sums[order[1]]); err != nil {
+			return false
+		}
+		if err := acc.Merge(sums[order[2]]); err != nil {
+			return false
+		}
+		if acc.N() != uint64(len(vals)) {
+			return false
+		}
+		return acc.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rank is monotone in v and bounded by the stored weight.
+func TestPropertyRankMonotone(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		if a != a || b != b {
+			return true
+		}
+		s := New(8, 5)
+		for _, v := range vals {
+			if v == v {
+				s.Update(v)
+			}
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ra, rb := s.Rank(a), s.Rank(b)
+		return ra <= rb && rb <= s.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: codec round-trips preserve every query answer.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(vals []float64, sRaw uint8) bool {
+		s := int(sRaw%16) + 1
+		sum := New(s, 9)
+		for _, v := range vals {
+			if v == v {
+				sum.Update(v)
+			}
+		}
+		data, err := sum.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Summary
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if got.N() != sum.N() || got.Size() != sum.Size() {
+			return false
+		}
+		for _, phi := range []float64{0, 0.5, 1} {
+			a, b := got.Quantile(phi), sum.Quantile(phi)
+			if a != b && !(a != a && b != b) { // NaN == NaN for empty
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,377 @@
+package randquant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func rankError(oracle *exact.Quantiles, got float64, phi float64, n int) uint64 {
+	trueRank := oracle.Rank(got)
+	target := uint64(phi * float64(n))
+	if target > trueRank {
+		return target - trueRank
+	}
+	return trueRank - target
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"s=0":      func() { New(0, 1) },
+		"eps=0":    func() { NewEpsilon(0, 1) },
+		"eps=1":    func() { NewEpsilon(1, 1) },
+		"nan":      func() { New(4, 1).Update(math.NaN()) },
+		"hybrid s": func() { NewHybrid(0, 3, 1) },
+		"hybrid l": func() { NewHybrid(4, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s := New(8, 1)
+	if s.N() != 0 || s.Size() != 0 || s.Levels() != 0 {
+		t.Fatal("empty summary not empty")
+	}
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("Quantile on empty should be NaN")
+	}
+	if s.Rank(3) != 0 {
+		t.Error("Rank on empty should be 0")
+	}
+}
+
+func TestExactWhenSmall(t *testing.T) {
+	s := New(100, 1)
+	vals := []float64{5, 1, 9, 3, 7}
+	for _, v := range vals {
+		s.Update(v)
+	}
+	// Everything fits the partial buffer: exact answers.
+	if r := s.Rank(4); r != 2 {
+		t.Errorf("Rank(4) = %d, want 2", r)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", q)
+	}
+	if q := s.Quantile(1); q != 9 {
+		t.Errorf("Quantile(1) = %v, want 9", q)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Weight conservation: the hierarchy represents every insert exactly
+// once at every moment.
+func TestWeightConservation(t *testing.T) {
+	s := New(7, 3)
+	for i, v := range gen.UniformValues(10000, 5) {
+		s.Update(v)
+		if i%997 == 0 {
+			if err := s.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.StoredWeight() != s.N() {
+		t.Fatalf("weight %d != n %d", s.StoredWeight(), s.N())
+	}
+}
+
+// The hierarchy must stay logarithmic: size ~ s * log2(n/s).
+func TestSizeLogarithmic(t *testing.T) {
+	s := New(64, 9)
+	const n = 1 << 17
+	for _, v := range gen.UniformValues(n, 2) {
+		s.Update(v)
+	}
+	maxSize := 64 * (int(math.Log2(float64(n)/64)) + 2)
+	if s.Size() > maxSize {
+		t.Errorf("size %d exceeds s*log bound %d", s.Size(), maxSize)
+	}
+	if s.Levels() > int(math.Log2(n))+1 {
+		t.Errorf("levels %d too many", s.Levels())
+	}
+}
+
+// Single-stream accuracy at the NewEpsilon sizing.
+func TestStreamGuarantee(t *testing.T) {
+	const n = 100000
+	for _, eps := range []float64{0.05, 0.01} {
+		for name, vals := range map[string][]float64{
+			"uniform": gen.UniformValues(n, 1),
+			"normal":  gen.NormalValues(n, 2),
+			"sorted":  gen.SortedValues(n),
+		} {
+			s := NewEpsilon(eps, 42)
+			for _, v := range vals {
+				s.Update(v)
+			}
+			oracle := exact.QuantilesOf(vals)
+			slack := uint64(eps*float64(n)) + 2
+			for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				if e := rankError(oracle, s.Quantile(phi), phi, n); e > slack {
+					t.Errorf("eps=%v %s phi=%v: rank error %d > %d", eps, name, phi, e, slack)
+				}
+			}
+			if err := s.checkInvariants(); err != nil {
+				t.Fatalf("eps=%v %s: %v", eps, name, err)
+			}
+		}
+	}
+}
+
+func TestRankEstimate(t *testing.T) {
+	const n = 50000
+	eps := 0.02
+	vals := gen.UniformValues(n, 77)
+	s := NewEpsilon(eps, 7)
+	for _, v := range vals {
+		s.Update(v)
+	}
+	oracle := exact.QuantilesOf(vals)
+	slack := uint64(eps*float64(n)) + 2
+	for _, v := range []float64{0.1, 0.33, 0.5, 0.9} {
+		got, want := s.Rank(v), oracle.Rank(v)
+		diff := got - want
+		if want > got {
+			diff = want - got
+		}
+		if diff > slack {
+			t.Errorf("Rank(%v) = %d, true %d (slack %d)", v, got, want, slack)
+		}
+	}
+}
+
+// The headline theorem: full mergeability. Any partitioning, any merge
+// topology — error stays ~eps*n and size stays logarithmic.
+func TestMergeTreeGuarantee(t *testing.T) {
+	const n = 120000
+	eps := 0.02
+	vals := gen.NormalValues(n, 31)
+	oracle := exact.QuantilesOf(vals)
+
+	partitionings := map[string][][]float64{
+		"contiguous": gen.PartitionContiguous(vals, 16),
+		"random":     gen.PartitionRandomSizes(vals, 16, 3),
+		"roundrobin": gen.PartitionRoundRobin(vals, 16),
+	}
+	for pname, parts := range partitionings {
+		sums := make([]*Summary, len(parts))
+		for i, p := range parts {
+			sums[i] = NewEpsilon(eps, uint64(i)*13+1)
+			for _, v := range p {
+				sums[i].Update(v)
+			}
+		}
+		// Balanced binary tree.
+		for len(sums) > 1 {
+			var next []*Summary
+			for i := 0; i+1 < len(sums); i += 2 {
+				if err := sums[i].Merge(sums[i+1]); err != nil {
+					t.Fatal(err)
+				}
+				next = append(next, sums[i])
+			}
+			if len(sums)%2 == 1 {
+				next = append(next, sums[len(sums)-1])
+			}
+			sums = next
+		}
+		m := sums[0]
+		if m.N() != n {
+			t.Fatalf("%s: N=%d, want %d", pname, m.N(), n)
+		}
+		if err := m.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", pname, err)
+		}
+		slack := uint64(eps*float64(n)) + 2
+		for _, phi := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			if e := rankError(oracle, m.Quantile(phi), phi, n); e > slack {
+				t.Errorf("%s phi=%v: rank error %d > %d", pname, phi, e, slack)
+			}
+		}
+	}
+}
+
+// Sequential one-way merging (site i folded into the accumulator one
+// at a time) must be as good as the balanced tree.
+func TestSequentialMergeGuarantee(t *testing.T) {
+	const n = 80000
+	eps := 0.02
+	vals := gen.UniformValues(n, 17)
+	oracle := exact.QuantilesOf(vals)
+	acc := NewEpsilon(eps, 1)
+	for i, p := range gen.PartitionContiguous(vals, 40) {
+		s := NewEpsilon(eps, uint64(i)+100)
+		for _, v := range p {
+			s.Update(v)
+		}
+		if err := acc.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.N() != n {
+		t.Fatalf("N=%d", acc.N())
+	}
+	slack := uint64(eps*float64(n)) + 2
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if e := rankError(oracle, acc.Quantile(phi), phi, n); e > slack {
+			t.Errorf("phi=%v: rank error %d > %d", phi, e, slack)
+		}
+	}
+}
+
+func TestMergeMismatched(t *testing.T) {
+	a, b := New(8, 1), New(16, 1)
+	if err := a.Merge(b); err == nil {
+		t.Error("mismatched block size accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestMergeDoesNotModifyOther(t *testing.T) {
+	a, b := New(8, 1), New(8, 2)
+	for _, v := range gen.UniformValues(100, 3) {
+		a.Update(v)
+	}
+	for _, v := range gen.UniformValues(123, 4) {
+		b.Update(v)
+	}
+	bn, bsize := b.N(), b.Size()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != bn || b.Size() != bsize {
+		t.Fatal("merge modified other")
+	}
+	if a.N() != 223 {
+		t.Fatalf("a.N = %d", a.N())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(8, 1)
+	for _, v := range gen.UniformValues(100, 3) {
+		a.Update(v)
+	}
+	c := a.Clone()
+	c.Update(1)
+	if c.N() != a.N()+1 {
+		t.Fatal("clone not independent")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New(8, 1)
+	for _, v := range gen.UniformValues(100, 3) {
+		a.Update(v)
+	}
+	a.Reset()
+	if a.N() != 0 || a.Size() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	a.Update(5)
+	if a.Rank(5) != 1 {
+		t.Fatal("unusable after Reset")
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	build := func(seed uint64) *Summary {
+		s := New(16, seed)
+		for _, v := range gen.UniformValues(5000, 9) {
+			s.Update(v)
+		}
+		return s
+	}
+	a, b := build(7), build(7)
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if a.Quantile(phi) != b.Quantile(phi) {
+			t.Fatal("same seed produced different summaries")
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := NewEpsilon(0.05, 3)
+	for _, v := range gen.NormalValues(20000, 8) {
+		s.Update(v)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.N() || got.Size() != s.Size() || got.BlockSize() != s.BlockSize() {
+		t.Fatal("round-trip changed state")
+	}
+	for _, phi := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got.Quantile(phi) != s.Quantile(phi) {
+			t.Errorf("phi=%v differs after round trip", phi)
+		}
+	}
+	if err := got.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	s := New(4, 1)
+	for _, v := range gen.UniformValues(100, 2) {
+		s.Update(v)
+	}
+	data, _ := s.MarshalBinary()
+	data[len(data)-5] ^= 0xff
+	var got Summary
+	if err := got.UnmarshalBinary(data); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}
+
+func TestCodecKindMismatch(t *testing.T) {
+	h := NewHybrid(8, 3, 1)
+	for _, v := range gen.UniformValues(100, 2) {
+		h.Update(v)
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := s.UnmarshalBinary(data); err == nil {
+		t.Fatal("plain summary decoded a hybrid frame")
+	}
+	sdata, err := New(8, 1).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h2 Hybrid
+	if err := h2.UnmarshalBinary(sdata); err == nil {
+		t.Fatal("hybrid decoded a plain frame")
+	}
+}

@@ -1,0 +1,29 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	s := NewBottomK(16, 1)
+	for _, v := range gen.UniformValues(200, 1) {
+		s.Update(v)
+	}
+	seed, _ := s.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out BottomK
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if out.Size() > out.K() {
+			t.Fatal("accepted frame overflows capacity")
+		}
+		if _, err := out.MarshalBinary(); err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+	})
+}

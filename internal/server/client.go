@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bufio"
+	"encoding"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client speaks the summaryd protocol over one TCP connection. It is
+// not safe for concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a summaryd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.w, "QUIT\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) readStatus() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return "", fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return "", fmt.Errorf("server: malformed reply %q", line)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(line, "OK")), nil
+}
+
+// Push merges a summary into the named slot and returns the slot's
+// total weight after the merge.
+func (c *Client) Push(slot, kind string, summary encoding.BinaryMarshaler) (uint64, error) {
+	data, err := summary.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(c.w, "PUSH %s %s\n%d\n", slot, kind, len(data))
+	c.w.Write(data)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	rest, err := c.readStatus()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(rest, 10, 64)
+}
+
+// Pull decodes the named slot's merged summary into out, returning the
+// slot's kind.
+func (c *Client) Pull(slot string, out encoding.BinaryUnmarshaler) (string, error) {
+	fmt.Fprintf(c.w, "PULL %s\n", slot)
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	rest, err := c.readStatus()
+	if err != nil {
+		return "", err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return "", fmt.Errorf("server: malformed PULL reply %q", rest)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 || n > maxFrame {
+		return "", fmt.Errorf("server: bad frame length %q", fields[1])
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", err
+	}
+	return fields[0], out.UnmarshalBinary(buf)
+}
+
+// SlotInfo is one STAT row.
+type SlotInfo struct {
+	Name   string
+	Kind   string
+	N      uint64
+	Pushes uint64
+}
+
+// Stat lists the server's slots.
+func (c *Client) Stat() ([]SlotInfo, error) {
+	fmt.Fprintf(c.w, "STAT\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	rest, err := c.readStatus()
+	if err != nil {
+		return nil, err
+	}
+	count, err := strconv.Atoi(rest)
+	if err != nil || count < 0 {
+		return nil, fmt.Errorf("server: malformed STAT count %q", rest)
+	}
+	out := make([]SlotInfo, 0, count)
+	for i := 0; i < count; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Fields(strings.TrimSpace(line))
+		if len(f) != 4 {
+			return nil, fmt.Errorf("server: malformed STAT row %q", line)
+		}
+		n, _ := strconv.ParseUint(f[2], 10, 64)
+		p, _ := strconv.ParseUint(f[3], 10, 64)
+		out = append(out, SlotInfo{Name: f[0], Kind: f[1], N: n, Pushes: p})
+	}
+	return out, nil
+}
+
+// Reset drops the named slot.
+func (c *Client) Reset(slot string) error {
+	fmt.Fprintf(c.w, "RESET %s\n", slot)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.readStatus()
+	return err
+}

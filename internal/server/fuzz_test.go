@@ -1,0 +1,44 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzHandle throws arbitrary bytes at a live connection handler: the
+// server must never panic and must always terminate once the client
+// side closes.
+func FuzzHandle(f *testing.F) {
+	f.Add([]byte("STAT\n"))
+	f.Add([]byte("PUSH a mg\n4\nABCD"))
+	f.Add([]byte("PULL nope\nRESET x\nQUIT\n"))
+	f.Add([]byte{0, 1, 2, 0xff, '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New()
+		client, srvSide := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.handle(srvSide)
+		}()
+		client.SetDeadline(time.Now().Add(2 * time.Second))
+		client.Write(data)
+		// Drain whatever the server replies so it never blocks on
+		// write, then hang up.
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				if _, err := client.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		client.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("handler did not terminate after close")
+		}
+	})
+}

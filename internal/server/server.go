@@ -1,0 +1,341 @@
+// Package server implements a small summary-aggregation service: a
+// TCP daemon holding named summary slots that workers PUSH framed
+// summaries into (the server merges on arrival) and dashboards PULL
+// merged summaries out of. It is the minimal "mergeable summaries as a
+// service" deployment the PODS'12 framework enables: the server never
+// sees raw data, only constant-size summaries, and any number of
+// workers can push in any order.
+//
+// Protocol (text commands, binary frames):
+//
+//	PUSH <slot> <kind>\n<frame>   → OK <n>\n            merge frame into slot
+//	PULL <slot>\n                 → OK <kind> <len>\n<frame>
+//	STAT\n                        → OK <count>\n then "<slot> <kind> <n> <pushes>\n" each
+//	RESET <slot>\n                → OK 0\n              drop the slot
+//	QUIT\n                        → connection closes
+//
+// Kinds: mg, ss, quantile, gk, qdigest, countmin, hll. A slot's kind
+// and shape are fixed by its first PUSH; mismatching pushes fail
+// without corrupting the slot.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/countmin"
+	"repro/internal/distinct"
+	"repro/internal/gk"
+	"repro/internal/mg"
+	"repro/internal/qdigest"
+	"repro/internal/randquant"
+	"repro/internal/spacesaving"
+)
+
+// maxFrame bounds a single pushed frame (16 MiB) so a misbehaving
+// client cannot exhaust server memory with one length header.
+const maxFrame = 16 << 20
+
+// ops adapts one summary kind to the slot interface.
+type ops struct {
+	decode func([]byte) (any, error)
+	encode func(any) ([]byte, error)
+	merge  func(dst, src any) error
+	n      func(any) uint64
+}
+
+func kindOps() map[string]ops {
+	return map[string]ops{
+		"mg": {
+			decode: func(b []byte) (any, error) { s := new(mg.Summary); return s, s.UnmarshalBinary(b) },
+			encode: func(v any) ([]byte, error) { return v.(*mg.Summary).MarshalBinary() },
+			merge:  func(d, s any) error { return d.(*mg.Summary).MergeLowError(s.(*mg.Summary)) },
+			n:      func(v any) uint64 { return v.(*mg.Summary).N() },
+		},
+		"ss": {
+			decode: func(b []byte) (any, error) { s := new(spacesaving.Summary); return s, s.UnmarshalBinary(b) },
+			encode: func(v any) ([]byte, error) { return v.(*spacesaving.Summary).MarshalBinary() },
+			merge: func(d, s any) error {
+				return d.(*spacesaving.Summary).MergeLowError(s.(*spacesaving.Summary))
+			},
+			n: func(v any) uint64 { return v.(*spacesaving.Summary).N() },
+		},
+		"quantile": {
+			decode: func(b []byte) (any, error) { s := new(randquant.Summary); return s, s.UnmarshalBinary(b) },
+			encode: func(v any) ([]byte, error) { return v.(*randquant.Summary).MarshalBinary() },
+			merge:  func(d, s any) error { return d.(*randquant.Summary).Merge(s.(*randquant.Summary)) },
+			n:      func(v any) uint64 { return v.(*randquant.Summary).N() },
+		},
+		"gk": {
+			decode: func(b []byte) (any, error) { s := new(gk.Summary); return s, s.UnmarshalBinary(b) },
+			encode: func(v any) ([]byte, error) { return v.(*gk.Summary).MarshalBinary() },
+			merge:  func(d, s any) error { return d.(*gk.Summary).Merge(s.(*gk.Summary)) },
+			n:      func(v any) uint64 { return v.(*gk.Summary).N() },
+		},
+		"qdigest": {
+			decode: func(b []byte) (any, error) { s := new(qdigest.Digest); return s, s.UnmarshalBinary(b) },
+			encode: func(v any) ([]byte, error) { return v.(*qdigest.Digest).MarshalBinary() },
+			merge:  func(d, s any) error { return d.(*qdigest.Digest).Merge(s.(*qdigest.Digest)) },
+			n:      func(v any) uint64 { return v.(*qdigest.Digest).N() },
+		},
+		"countmin": {
+			decode: func(b []byte) (any, error) { s := new(countmin.Sketch); return s, s.UnmarshalBinary(b) },
+			encode: func(v any) ([]byte, error) { return v.(*countmin.Sketch).MarshalBinary() },
+			merge:  func(d, s any) error { return d.(*countmin.Sketch).Merge(s.(*countmin.Sketch)) },
+			n:      func(v any) uint64 { return v.(*countmin.Sketch).N() },
+		},
+		"hll": {
+			decode: func(b []byte) (any, error) { s := new(distinct.HLL); return s, s.UnmarshalBinary(b) },
+			encode: func(v any) ([]byte, error) { return v.(*distinct.HLL).MarshalBinary() },
+			merge:  func(d, s any) error { return d.(*distinct.HLL).Merge(s.(*distinct.HLL)) },
+			n:      func(v any) uint64 { return v.(*distinct.HLL).N() },
+		},
+	}
+}
+
+// slot is one named aggregation target.
+type slot struct {
+	mu      sync.Mutex
+	kind    string
+	summary any
+	pushes  uint64
+}
+
+// Server is the aggregation daemon. Use New and Serve.
+type Server struct {
+	kinds map[string]ops
+
+	mu    sync.Mutex
+	slots map[string]*slot
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// New returns a server with no slots.
+func New() *Server {
+	return &Server{
+		kinds:  kindOps(),
+		slots:  make(map[string]*slot),
+		closed: make(chan struct{}),
+	}
+}
+
+// Listen binds the server to addr ("127.0.0.1:0" for an ephemeral
+// port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until Close is called. It returns nil on
+// graceful shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Listen first")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				s.wg.Wait()
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() {
+	close(s.closed)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+}
+
+func (s *Server) getSlot(name string) *slot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl, ok := s.slots[name]
+	if !ok {
+		sl = &slot{}
+		s.slots[name] = sl
+	}
+	return sl
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for {
+		w.Flush()
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "PUSH":
+			s.cmdPush(fields, r, w)
+		case "PULL":
+			s.cmdPull(fields, w)
+		case "STAT":
+			s.cmdStat(w)
+		case "RESET":
+			s.cmdReset(fields, w)
+		case "QUIT":
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+	}
+}
+
+// readFrame reads one self-delimiting summary frame preceded by its
+// length line ("<len>\n").
+func readLengthPrefixed(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(line))
+	if err != nil || n < 0 || n > maxFrame {
+		return nil, fmt.Errorf("bad frame length %q", strings.TrimSpace(line))
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) {
+	if len(fields) != 3 {
+		fmt.Fprintf(w, "ERR usage: PUSH <slot> <kind>\n")
+		return
+	}
+	name, kind := fields[1], fields[2]
+	op, ok := s.kinds[kind]
+	if !ok {
+		// Drain nothing: the client will notice the error before
+		// sending the frame only if it waits; we must still consume
+		// the frame to keep the stream in sync.
+		if _, err := readLengthPrefixed(r); err != nil {
+			return
+		}
+		fmt.Fprintf(w, "ERR unknown kind %q\n", kind)
+		return
+	}
+	frame, err := readLengthPrefixed(r)
+	if err != nil {
+		fmt.Fprintf(w, "ERR reading frame: %v\n", err)
+		return
+	}
+	incoming, err := op.decode(frame)
+	if err != nil {
+		fmt.Fprintf(w, "ERR decoding frame: %v\n", err)
+		return
+	}
+	sl := s.getSlot(name)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	switch {
+	case sl.summary == nil:
+		sl.kind = kind
+		sl.summary = incoming
+	case sl.kind != kind:
+		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, sl.kind)
+		return
+	default:
+		if err := op.merge(sl.summary, incoming); err != nil {
+			fmt.Fprintf(w, "ERR merge: %v\n", err)
+			return
+		}
+	}
+	sl.pushes++
+	fmt.Fprintf(w, "OK %d\n", op.n(sl.summary))
+}
+
+func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
+	if len(fields) != 2 {
+		fmt.Fprintf(w, "ERR usage: PULL <slot>\n")
+		return
+	}
+	s.mu.Lock()
+	sl, ok := s.slots[fields[1]]
+	s.mu.Unlock()
+	if !ok {
+		fmt.Fprintf(w, "ERR no such slot %q\n", fields[1])
+		return
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.summary == nil {
+		fmt.Fprintf(w, "ERR slot %q is empty\n", fields[1])
+		return
+	}
+	data, err := s.kinds[sl.kind].encode(sl.summary)
+	if err != nil {
+		fmt.Fprintf(w, "ERR encoding: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %s %d\n", sl.kind, len(data))
+	w.Write(data)
+}
+
+func (s *Server) cmdStat(w *bufio.Writer) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.slots))
+	for name := range s.slots {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(w, "OK %d\n", len(names))
+	for _, name := range names {
+		s.mu.Lock()
+		sl := s.slots[name]
+		s.mu.Unlock()
+		sl.mu.Lock()
+		if sl.summary != nil {
+			fmt.Fprintf(w, "%s %s %d %d\n", name, sl.kind, s.kinds[sl.kind].n(sl.summary), sl.pushes)
+		} else {
+			fmt.Fprintf(w, "%s - 0 0\n", name)
+		}
+		sl.mu.Unlock()
+	}
+}
+
+func (s *Server) cmdReset(fields []string, w *bufio.Writer) {
+	if len(fields) != 2 {
+		fmt.Fprintf(w, "ERR usage: RESET <slot>\n")
+		return
+	}
+	s.mu.Lock()
+	delete(s.slots, fields[1])
+	s.mu.Unlock()
+	fmt.Fprintf(w, "OK 0\n")
+}

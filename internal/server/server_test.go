@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/mg"
+	"repro/internal/randquant"
+)
+
+// startServer returns a running server's address and a stop function.
+func startServer(t *testing.T) (string, func()) {
+	t.Helper()
+	s := New()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	return addr, func() {
+		s.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+}
+
+func TestPushPullRoundTrip(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	s := mg.New(16)
+	s.Update(7, 100)
+	s.Update(9, 50)
+	n, err := c.Push("flows", "mg", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 150 {
+		t.Fatalf("push returned n=%d", n)
+	}
+
+	var got mg.Summary
+	kind, err := c.Pull("flows", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "mg" {
+		t.Fatalf("kind = %q", kind)
+	}
+	if got.N() != 150 || got.Estimate(7).Value != 100 {
+		t.Fatalf("pulled summary wrong: n=%d", got.N())
+	}
+}
+
+// The server's whole point: concurrent workers push shard summaries,
+// the pulled slot equals a single-site summary within the bound.
+func TestConcurrentWorkers(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	const workers = 8
+	const perWorker = 20000
+	const k = 64
+
+	var truthMu sync.Mutex
+	truth := exact.NewFreqTable()
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("worker %d: %v", id, err)
+				return
+			}
+			defer c.Close()
+			s := mg.New(k)
+			local := exact.NewFreqTable()
+			for _, x := range gen.NewZipf(2000, 1.3, uint64(id)+1).Stream(perWorker) {
+				s.Update(x, 1)
+				local.Add(x, 1)
+			}
+			truthMu.Lock()
+			truth.Merge(local)
+			truthMu.Unlock()
+			if _, err := c.Push("agg", "mg", s); err != nil {
+				t.Errorf("worker %d push: %v", id, err)
+			}
+		}(wid)
+	}
+	wg.Wait()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var merged mg.Summary
+	if _, err := c.Pull("agg", &merged); err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(workers * perWorker)
+	if merged.N() != n {
+		t.Fatalf("merged N = %d, want %d", merged.N(), n)
+	}
+	if merged.ErrorBound() > core.MGBound(n, k) {
+		t.Errorf("bound %d > %d", merged.ErrorBound(), core.MGBound(n, k))
+	}
+	for _, cnt := range truth.Counters()[:10] {
+		if e := merged.Estimate(cnt.Item); !e.Contains(cnt.Count) {
+			t.Errorf("interval %v misses %d for item %d", e, cnt.Count, cnt.Item)
+		}
+	}
+
+	stats, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Name != "agg" || stats[0].Pushes != workers || stats[0].N != n {
+		t.Fatalf("Stat = %+v", stats)
+	}
+}
+
+func TestMultipleKindsAndSlots(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	q := randquant.NewEpsilon(0.05, 1)
+	for _, v := range gen.UniformValues(5000, 2) {
+		q.Update(v)
+	}
+	if _, err := c.Push("lat", "quantile", q); err != nil {
+		t.Fatal(err)
+	}
+	m := mg.New(8)
+	m.Update(1, 3)
+	if _, err := c.Push("flows", "mg", m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kind mismatch on an existing slot must fail and not corrupt.
+	if _, err := c.Push("lat", "mg", m); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	var back randquant.Summary
+	if _, err := c.Pull("lat", &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 5000 {
+		t.Fatalf("lat slot corrupted: n=%d", back.N())
+	}
+
+	stats, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("Stat rows = %d", len(stats))
+	}
+
+	if err := c.Reset("lat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pull("lat", &back); err == nil {
+		t.Fatal("pull after reset succeeded")
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	m := mg.New(4)
+	m.Update(1, 1)
+	if _, err := c.Push("x", "nope", m); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	var out mg.Summary
+	if _, err := c.Pull("missing", &out); err == nil {
+		t.Error("missing slot pull succeeded")
+	}
+	// The connection must still be usable after errors.
+	if _, err := c.Push("x", "mg", m); err != nil {
+		t.Fatalf("connection broken after errors: %v", err)
+	}
+}
+
+// Raw-socket tests for malformed input: the server must answer ERR and
+// survive.
+func TestMalformedCommands(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	send := func(s string) string {
+		if _, err := conn.Write([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(line)
+	}
+
+	if got := send("BOGUS\n"); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("BOGUS → %q", got)
+	}
+	if got := send("PUSH onlyslot\n"); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("short PUSH → %q", got)
+	}
+	if got := send("PUSH s mg\nnotanumber\n"); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("bad length → %q", got)
+	}
+	if got := send(fmt.Sprintf("PUSH s mg\n%d\n", maxFrame+1)); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("oversized frame → %q", got)
+	}
+	// Garbage frame bytes of declared length: decode error.
+	if got := send("PUSH s mg\n4\nABCD"); !strings.HasPrefix(got, "ERR") {
+		t.Errorf("garbage frame → %q", got)
+	}
+	if got := send("STAT\n"); got != "OK 0" {
+		t.Errorf("STAT after garbage → %q", got)
+	}
+}

@@ -1,0 +1,90 @@
+// Package shard provides a concurrent ingestion wrapper around any
+// mergeable summary: updates are routed to per-shard summaries guarded
+// by per-shard locks, and queries merge a snapshot of all shards. This
+// is the intra-process mirror of the paper's distributed story — the
+// reason it works at all is mergeability: a snapshot merged from P
+// shard summaries carries the same guarantee as one summary that saw
+// every update.
+package shard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded fans updates out over p summaries of type S. All methods are
+// safe for concurrent use.
+type Sharded[S any] struct {
+	mus    []sync.Mutex
+	shards []S
+}
+
+// New returns a Sharded with p shards built by mk (called once per
+// shard index).
+func New[S any](p int, mk func(shard int) S) *Sharded[S] {
+	if p < 1 {
+		panic("shard: need at least one shard")
+	}
+	s := &Sharded[S]{
+		mus:    make([]sync.Mutex, p),
+		shards: make([]S, p),
+	}
+	for i := range s.shards {
+		s.shards[i] = mk(i)
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Sharded[S]) Shards() int { return len(s.shards) }
+
+// Update locks the shard selected by key and applies f to its summary.
+// Callers route related keys to the same shard by hashing; unrelated
+// keys spread across shards and proceed in parallel.
+func (s *Sharded[S]) Update(key uint64, f func(S)) {
+	i := int(key % uint64(len(s.shards)))
+	s.mus[i].Lock()
+	f(s.shards[i])
+	s.mus[i].Unlock()
+}
+
+// UpdateAny applies f to an arbitrary shard chosen by the caller-
+// provided token (e.g. a goroutine-local counter); use when the
+// summary accepts any routing, such as quantile summaries.
+func (s *Sharded[S]) UpdateAny(token uint64, f func(S)) {
+	s.Update(token, f)
+}
+
+// Snapshot clones every shard under its lock and folds the clones
+// with merge, returning a summary equivalent (by mergeability) to one
+// that observed every update. Ingestion continues concurrently;
+// the snapshot is a consistent-per-shard cut.
+func (s *Sharded[S]) Snapshot(clone func(S) S, merge func(dst, src S) error) (S, error) {
+	clones := make([]S, len(s.shards))
+	for i := range s.shards {
+		s.mus[i].Lock()
+		clones[i] = clone(s.shards[i])
+		s.mus[i].Unlock()
+	}
+	acc := clones[0]
+	for i, c := range clones[1:] {
+		if err := merge(acc, c); err != nil {
+			return acc, fmt.Errorf("shard: merging shard %d: %w", i+1, err)
+		}
+	}
+	return acc, nil
+}
+
+// Drain removes and returns the shard summaries, replacing them with
+// fresh ones from mk — the epoch-rotation pattern for periodic
+// flushing to an aggregator.
+func (s *Sharded[S]) Drain(mk func(shard int) S) []S {
+	out := make([]S, len(s.shards))
+	for i := range s.shards {
+		s.mus[i].Lock()
+		out[i] = s.shards[i]
+		s.shards[i] = mk(i)
+		s.mus[i].Unlock()
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/mg"
+	"repro/internal/randquant"
+)
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, func(int) int { return 0 })
+}
+
+// Concurrent ingestion into sharded MG summaries; the merged snapshot
+// must satisfy the single-summary guarantee over all updates. Run
+// under -race in CI.
+func TestConcurrentFrequency(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 20000
+		k       = 64
+	)
+	sh := New(workers, func(int) *mg.Summary { return mg.New(k) })
+	truthCh := make(chan []core.Item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			stream := gen.NewZipf(2000, 1.3, uint64(id)+1).Stream(perW)
+			for _, x := range stream {
+				sh.Update(uint64(x), func(s *mg.Summary) { s.Update(x, 1) })
+			}
+			truthCh <- stream
+		}(w)
+	}
+	wg.Wait()
+	close(truthCh)
+	truth := exact.NewFreqTable()
+	for stream := range truthCh {
+		for _, x := range stream {
+			truth.Add(x, 1)
+		}
+	}
+
+	snap, err := sh.Snapshot(
+		func(s *mg.Summary) *mg.Summary { return s.Clone() },
+		(*mg.Summary).Merge,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(workers * perW)
+	if snap.N() != n {
+		t.Fatalf("snapshot N = %d, want %d", snap.N(), n)
+	}
+	if snap.ErrorBound() > core.MGBound(n, k) {
+		t.Errorf("bound %d > %d", snap.ErrorBound(), core.MGBound(n, k))
+	}
+	for _, c := range truth.Counters()[:20] {
+		if e := snap.Estimate(c.Item); !e.Contains(c.Count) {
+			t.Errorf("interval %v misses %d for item %d", e, c.Count, c.Item)
+		}
+	}
+}
+
+// Snapshot while ingestion continues: must never violate invariants or
+// race (the test's value is under -race).
+func TestSnapshotDuringIngestion(t *testing.T) {
+	sh := New(4, func(int) *mg.Summary { return mg.New(16) })
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := gen.NewRNG(uint64(id))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x := core.Item(rng.Intn(100))
+				sh.Update(uint64(x), func(s *mg.Summary) { s.Update(x, 1) })
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		snap, err := sh.Snapshot(
+			func(s *mg.Summary) *mg.Summary { return s.Clone() },
+			(*mg.Summary).Merge,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Len() > 16 {
+			t.Fatalf("snapshot size %d > k", snap.Len())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConcurrentQuantiles(t *testing.T) {
+	const workers = 6
+	const perW = 10000
+	sh := New(workers, func(i int) *randquant.Summary {
+		return randquant.NewEpsilon(0.02, uint64(i)+1)
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i, v := range gen.UniformValues(perW, uint64(id)+10) {
+				sh.UpdateAny(uint64(id*perW+i), func(s *randquant.Summary) { s.Update(v) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap, err := sh.Snapshot(
+		func(s *randquant.Summary) *randquant.Summary { return s.Clone() },
+		(*randquant.Summary).Merge,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N() != workers*perW {
+		t.Fatalf("N = %d", snap.N())
+	}
+	med := snap.Quantile(0.5)
+	if med < 0.45 || med > 0.55 {
+		t.Errorf("median %v far from 0.5", med)
+	}
+}
+
+func TestDrainRotation(t *testing.T) {
+	sh := New(3, func(int) *mg.Summary { return mg.New(8) })
+	for i := 0; i < 100; i++ {
+		x := core.Item(i % 10)
+		sh.Update(uint64(x), func(s *mg.Summary) { s.Update(x, 1) })
+	}
+	epoch1 := sh.Drain(func(int) *mg.Summary { return mg.New(8) })
+	var total uint64
+	for _, s := range epoch1 {
+		total += s.N()
+	}
+	if total != 100 {
+		t.Fatalf("drained weight %d, want 100", total)
+	}
+	// After draining, the shards are fresh.
+	snap, err := sh.Snapshot(
+		func(s *mg.Summary) *mg.Summary { return s.Clone() },
+		(*mg.Summary).Merge,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N() != 0 {
+		t.Fatalf("post-drain snapshot N = %d", snap.N())
+	}
+}

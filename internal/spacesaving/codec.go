@@ -1,0 +1,55 @@
+package spacesaving
+
+import (
+	"repro/internal/codec"
+	"repro/internal/core"
+)
+
+// MarshalBinary encodes the summary in the library's framed wire
+// format. It implements encoding.BinaryMarshaler.
+func (s *Summary) MarshalBinary() ([]byte, error) {
+	var w codec.Buffer
+	w.Int(s.k)
+	w.Uint64(s.n)
+	w.Uint64(s.under)
+	states := s.States()
+	w.Int(len(states))
+	for _, st := range states {
+		w.Uint64(uint64(st.Item))
+		w.Uint64(st.Count)
+		w.Uint64(st.Eps)
+	}
+	return codec.EncodeFrame(codec.KindSpaceSaving, w.Bytes()), nil
+}
+
+// UnmarshalBinary decodes a summary previously encoded with
+// MarshalBinary, replacing the receiver's contents. It implements
+// encoding.BinaryUnmarshaler.
+func (s *Summary) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindSpaceSaving, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	k := r.Int()
+	n := r.Uint64()
+	under := r.Uint64()
+	m := r.ArrayLen(3)
+	states := make([]CounterState, 0, m)
+	for i := 0; i < m; i++ {
+		states = append(states, CounterState{
+			Item:  core.Item(r.Uint64()),
+			Count: r.Uint64(),
+			Eps:   r.Uint64(),
+		})
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	dec, err := FromStates(k, n, under, states)
+	if err != nil {
+		return err
+	}
+	*s = *dec
+	return nil
+}

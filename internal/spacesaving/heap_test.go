@@ -1,0 +1,109 @@
+package spacesaving
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestHeapNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHeap(0) did not panic")
+		}
+	}()
+	NewHeap(0)
+}
+
+func TestHeapZeroWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-weight update did not panic")
+		}
+	}()
+	NewHeap(2).Update(1, 0)
+}
+
+// The heap variant must satisfy the identical SpaceSaving guarantees.
+func TestHeapStreamGuarantee(t *testing.T) {
+	const n = 100000
+	for _, k := range []int{4, 64} {
+		stream := gen.NewZipf(5000, 1.3, uint64(k)).Stream(n)
+		truth := exact.FreqOf(stream)
+		s := NewHeap(k)
+		for _, x := range stream {
+			s.Update(x, 1)
+		}
+		if s.N() != n {
+			t.Fatalf("N = %d", s.N())
+		}
+		if got := core.TotalCount(s.Counters()); got != n {
+			t.Fatalf("k=%d: Σ counters = %d, want %d", k, got, n)
+		}
+		if s.MinCount() > core.SSBound(n, k) {
+			t.Fatalf("k=%d: min %d > n/k", k, s.MinCount())
+		}
+		for _, c := range truth.Counters() {
+			e := s.Estimate(c.Item)
+			if !e.Contains(c.Count) {
+				t.Fatalf("k=%d: interval %v misses %d for item %d", k, e, c.Count, c.Item)
+			}
+		}
+	}
+}
+
+// The heap variant and the bucket variant implement the same abstract
+// algorithm with the same FIFO tie-breaking, so on identical input
+// they must produce identical counter multisets.
+func TestHeapMatchesBuckets(t *testing.T) {
+	const n = 50000
+	stream := gen.NewZipf(2000, 1.2, 17).Stream(n)
+	h := NewHeap(32)
+	b := New(32)
+	for _, x := range stream {
+		h.Update(x, 1)
+		b.Update(x, 1)
+	}
+	hc, bc := h.Counters(), b.Counters()
+	if len(hc) != len(bc) {
+		t.Fatalf("sizes differ: %d vs %d", len(hc), len(bc))
+	}
+	for i := range hc {
+		if hc[i].Count != bc[i].Count {
+			t.Fatalf("count multiset differs at %d: %v vs %v", i, hc[i], bc[i])
+		}
+	}
+}
+
+func TestHeapToBuckets(t *testing.T) {
+	h := NewHeap(16)
+	for _, x := range gen.NewZipf(500, 1.4, 3).Stream(20000) {
+		h.Update(x, 1)
+	}
+	s := h.ToBuckets()
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != h.N() || s.Len() != h.Len() {
+		t.Fatal("conversion changed header state")
+	}
+	hc, sc := h.Counters(), s.Counters()
+	for i := range hc {
+		if hc[i] != sc[i] {
+			t.Fatalf("counter %d differs: %v vs %v", i, hc[i], sc[i])
+		}
+	}
+	// Converted summaries merge like native ones.
+	other := New(16)
+	for _, x := range gen.NewZipf(500, 1.4, 4).Stream(10000) {
+		other.Update(x, 1)
+	}
+	if err := s.MergeLowError(other); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 30000 {
+		t.Fatalf("merged N = %d", s.N())
+	}
+}

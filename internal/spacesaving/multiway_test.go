@@ -1,0 +1,71 @@
+package spacesaving
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestMergeManyBasics(t *testing.T) {
+	if _, err := MergeMany(nil); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := MergeMany([]*Summary{New(4), nil}); err == nil {
+		t.Error("nil element accepted")
+	}
+	if _, err := MergeMany([]*Summary{New(4), New(8)}); err == nil {
+		t.Error("mismatched k accepted")
+	}
+	a, b := New(4), New(4)
+	a.Update(1, 5)
+	b.Update(2, 3)
+	m, err := MergeMany([]*Summary{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 8 || m.Estimate(1).Value != 5 || m.Estimate(2).Value != 3 {
+		t.Fatal("two-way MergeMany wrong")
+	}
+	if a.N() != 5 || b.N() != 3 {
+		t.Fatal("MergeMany modified inputs")
+	}
+	if err := m.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeManyGuarantee(t *testing.T) {
+	const n = 120000
+	const k = 33
+	const sites = 24
+	stream := gen.NewZipf(3000, 1.2, 7).Stream(n)
+	truth := exact.FreqOf(stream)
+	parts := gen.PartitionByHash(stream, sites, func(x core.Item) uint64 { return uint64(x) * 0x9e3779b1 })
+	sums := make([]*Summary, sites)
+	for i, p := range parts {
+		sums[i] = New(k)
+		for _, x := range p {
+			sums[i].Update(x, 1)
+		}
+	}
+	m, err := MergeMany(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != n || m.Len() > k {
+		t.Fatalf("N=%d Len=%d", m.N(), m.Len())
+	}
+	if err := m.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.UnderBound() > 2*n/uint64(k) {
+		t.Errorf("under %d > 2n/k", m.UnderBound())
+	}
+	for _, c := range truth.Counters() {
+		if e := m.Estimate(c.Item); !e.Contains(c.Count) {
+			t.Fatalf("item %d: interval %v vs true %d", c.Item, e, c.Count)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package spacesaving
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/mg"
+)
+
+func buildStream(raw []byte) []core.Counter {
+	out := make([]core.Counter, 0, len(raw))
+	for i := 0; i+1 < len(raw); i += 2 {
+		out = append(out, core.Counter{
+			Item:  core.Item(raw[i] % 32),
+			Count: uint64(raw[i+1]%16) + 1,
+		})
+	}
+	return out
+}
+
+// Property: fresh SpaceSaving conserves total weight, monitored
+// estimates never underestimate, and intervals contain the truth.
+func TestPropertyStreamGuarantee(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		s := New(k)
+		truth := exact.NewFreqTable()
+		for _, u := range buildStream(raw) {
+			s.Update(u.Item, u.Count)
+			truth.Add(u.Item, u.Count)
+		}
+		if core.TotalCount(s.Counters()) != s.N() {
+			return false
+		}
+		if s.Len() > k || s.UnderBound() != 0 {
+			return false
+		}
+		if err := s.checkInvariants(); err != nil {
+			return false
+		}
+		for _, c := range truth.Counters() {
+			e := s.Estimate(c.Item)
+			if e.Value != 0 && e.Value < c.Count {
+				return false // monitored items must not undercount
+			}
+			if !e.Contains(c.Count) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both merges keep intervals correct for any stream split.
+func TestPropertyMergeGuarantee(t *testing.T) {
+	f := func(raw []byte, kRaw, cut uint8, lowError bool) bool {
+		k := int(kRaw%8) + 2
+		stream := buildStream(raw)
+		split := 0
+		if len(stream) > 0 {
+			split = int(cut) % (len(stream) + 1)
+		}
+		a, b := New(k), New(k)
+		truth := exact.NewFreqTable()
+		for i, u := range stream {
+			if i < split {
+				a.Update(u.Item, u.Count)
+			} else {
+				b.Update(u.Item, u.Count)
+			}
+			truth.Add(u.Item, u.Count)
+		}
+		var err error
+		if lowError {
+			err = a.MergeLowError(b)
+		} else {
+			err = a.Merge(b)
+		}
+		if err != nil {
+			return false
+		}
+		if a.N() != truth.N() || a.Len() > k {
+			return false
+		}
+		if err := a.checkInvariants(); err != nil {
+			return false
+		}
+		for _, c := range truth.Counters() {
+			if !a.Estimate(c.Item).Contains(c.Count) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the isomorphism to Misra–Gries holds on arbitrary streams
+// (unit weights; the theorem is stated for per-item arrivals).
+func TestPropertyIsomorphism(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		k := int(kRaw%8) + 2
+		ss := New(k)
+		mgS, err := isoMG(k)
+		if err != nil {
+			return false
+		}
+		for _, b := range raw {
+			x := core.Item(b % 32)
+			ss.Update(x, 1)
+			mgS.Update(x, 1)
+		}
+		want := mgS.Counters()
+		got := ss.ToMisraGries().Counters()
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// isoMG builds the MG counterpart with k-1 counters.
+func isoMG(k int) (*mg.Summary, error) {
+	return mg.FromCounters(k-1, 0, 0, nil)
+}

@@ -1,0 +1,406 @@
+// Package spacesaving implements the SpaceSaving heavy-hitter summary
+// of Metwally, Agrawal and El Abbadi with the "stream-summary" bucket
+// structure (worst-case O(1) unit updates), plus its merge operations.
+//
+// A Summary with k counters processing a stream of total weight n
+// guarantees, for every item x with true frequency f(x):
+//
+//	f(x) ≤ Estimate(x).Value + under   and   Estimate(x).Value − eps(x) ≤ f(x)
+//
+// where eps(x) is the per-counter overestimation certificate and
+// `under` accumulates only through merges (a fresh summary never
+// undercounts). The minimum counter is at most n/k.
+//
+// PODS'12 (Agarwal et al.) proves SpaceSaving is isomorphic to
+// Misra–Gries — subtracting the minimum counter from a full SpaceSaving
+// summary with k counters yields exactly the MG summary with k−1
+// counters — and is therefore mergeable with the same guarantees. Both
+// the PODS'12 merge (via the isomorphism) and the low-total-error merge
+// (Algorithm 3 of the supplied follow-up text) are provided.
+package spacesaving
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// entry is one monitored item, linked into its count bucket.
+type entry struct {
+	item  core.Item
+	count uint64
+	eps   uint64 // overestimation certificate: count − f(item) <= eps (+merge terms)
+	b     *bucket
+	prev  *entry
+	next  *entry
+}
+
+// bucket groups all entries sharing one count, in a doubly-linked list
+// of buckets kept in ascending count order. This is the stream-summary
+// structure: unit-weight updates move an entry at most one bucket
+// forward, so Update is O(1).
+type bucket struct {
+	count uint64
+	head  *entry // eviction order: head is the oldest entry
+	tail  *entry
+	prev  *bucket
+	next  *bucket
+}
+
+// Summary is a SpaceSaving summary. The zero value is not usable; use
+// New. Summaries are not safe for concurrent use.
+type Summary struct {
+	k       int
+	n       uint64
+	under   uint64 // accumulated possible undercount, from merge minima subtractions and prunes
+	entries map[core.Item]*entry
+	minB    *bucket // ascending bucket list
+	maxB    *bucket
+}
+
+// New returns an empty summary with capacity k >= 1 counters.
+func New(k int) *Summary {
+	if k < 1 {
+		panic("spacesaving: k must be >= 1")
+	}
+	return &Summary{k: k, entries: make(map[core.Item]*entry, k)}
+}
+
+// NewEpsilon returns a summary sized for overestimation at most eps*n,
+// i.e. k = ceil(1/eps) counters.
+func NewEpsilon(eps float64) *Summary {
+	if eps <= 0 || eps >= 1 {
+		panic("spacesaving: eps must be in (0, 1)")
+	}
+	k := int(1/eps + 0.9999999)
+	if k < 1 {
+		k = 1
+	}
+	return New(k)
+}
+
+// K returns the counter capacity.
+func (s *Summary) K() int { return s.k }
+
+// N returns the total weight summarized, including merged-in weight.
+func (s *Summary) N() uint64 { return s.n }
+
+// Len returns the number of monitored items (<= K).
+func (s *Summary) Len() int { return len(s.entries) }
+
+// UnderBound returns the accumulated possible undercount: for every
+// item, f(x) <= Estimate(x).Value + UnderBound() holds for monitored
+// items, and f(x) <= MinCount() + UnderBound() for unmonitored ones.
+// It is zero for a summary that has never been merged.
+func (s *Summary) UnderBound() uint64 { return s.under }
+
+// MinCount returns the smallest monitored count (0 when empty).
+func (s *Summary) MinCount() uint64 {
+	if s.minB == nil {
+		return 0
+	}
+	return s.minB.count
+}
+
+// Update adds w >= 1 occurrences of x. Unit-weight updates are O(1);
+// weight-w updates cost O(buckets skipped).
+func (s *Summary) Update(x core.Item, w uint64) {
+	if w == 0 {
+		panic("spacesaving: zero-weight update")
+	}
+	s.n += w
+	if e, ok := s.entries[x]; ok {
+		s.increase(e, w)
+		return
+	}
+	if len(s.entries) < s.k {
+		e := &entry{item: x, count: w}
+		s.entries[x] = e
+		s.placeFrom(s.minB, e)
+		return
+	}
+	// Evict the oldest entry of the minimum bucket: the incoming item
+	// inherits its count as the classic SpaceSaving overestimate.
+	victim := s.minB.head
+	minCount := s.minB.count
+	s.unlink(victim)
+	delete(s.entries, victim.item)
+	e := &entry{item: x, count: minCount + w, eps: minCount}
+	s.entries[x] = e
+	s.placeFrom(s.minB, e)
+}
+
+// increase moves e forward by w.
+func (s *Summary) increase(e *entry, w uint64) {
+	start := e.b
+	e.count += w
+	s.unlinkKeepBucket(e, start)
+	from := start
+	if from.head == nil { // bucket emptied; start search from neighbours
+		from = s.removeEmptyBucket(start)
+	}
+	s.placeFrom(from, e)
+}
+
+// placeFrom inserts e into the bucket with count e.count, searching
+// forward from the hint bucket (which must have count <= e.count, or be
+// nil to search from the minimum).
+func (s *Summary) placeFrom(hint *bucket, e *entry) {
+	b := hint
+	if b == nil {
+		b = s.minB
+	}
+	var after *bucket // last bucket with count < e.count
+	for b != nil && b.count < e.count {
+		after = b
+		b = b.next
+	}
+	if b != nil && b.count == e.count {
+		s.appendEntry(b, e)
+		return
+	}
+	// Insert a new bucket between after and b.
+	nb := &bucket{count: e.count, prev: after, next: b}
+	if after != nil {
+		after.next = nb
+	} else {
+		s.minB = nb
+	}
+	if b != nil {
+		b.prev = nb
+	} else {
+		s.maxB = nb
+	}
+	s.appendEntry(nb, e)
+}
+
+func (s *Summary) appendEntry(b *bucket, e *entry) {
+	e.b = b
+	e.prev = b.tail
+	e.next = nil
+	if b.tail != nil {
+		b.tail.next = e
+	} else {
+		b.head = e
+	}
+	b.tail = e
+}
+
+// unlink removes e from its bucket and drops the bucket if emptied.
+func (s *Summary) unlink(e *entry) {
+	b := e.b
+	s.unlinkKeepBucket(e, b)
+	if b.head == nil {
+		s.removeEmptyBucket(b)
+	}
+}
+
+func (s *Summary) unlinkKeepBucket(e *entry, b *bucket) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.prev, e.next, e.b = nil, nil, nil
+}
+
+// removeEmptyBucket unlinks b and returns its predecessor (the new
+// search hint), which may be nil.
+func (s *Summary) removeEmptyBucket(b *bucket) *bucket {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.minB = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		s.maxB = b.prev
+	}
+	return b.prev
+}
+
+// Estimate answers a point query. For monitored items the interval is
+// [count−eps, count+under]; for unmonitored items [0, min+under].
+func (s *Summary) Estimate(x core.Item) core.Estimate {
+	if e, ok := s.entries[x]; ok {
+		lo := uint64(0)
+		if e.count > e.eps {
+			lo = e.count - e.eps
+		}
+		return core.Estimate{Value: e.count, Lower: lo, Upper: e.count + s.under}
+	}
+	return core.Estimate{Value: 0, Lower: 0, Upper: s.MinCount() + s.under}
+}
+
+// Counters returns the monitored (item, count) pairs in ascending count
+// order (ties by item).
+func (s *Summary) Counters() []core.Counter {
+	out := make([]core.Counter, 0, len(s.entries))
+	for b := s.minB; b != nil; b = b.next {
+		for e := b.head; e != nil; e = e.next {
+			out = append(out, core.Counter{Item: e.item, Count: e.count})
+		}
+	}
+	core.SortCountersAsc(out)
+	return out
+}
+
+// CounterState is a Counter extended with the per-counter
+// overestimation certificate; the interchange format for merges and
+// the codec.
+type CounterState struct {
+	Item  core.Item
+	Count uint64
+	Eps   uint64
+}
+
+// States returns all counter states in ascending (count, item) order.
+func (s *Summary) States() []CounterState {
+	out := make([]CounterState, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, CounterState{Item: e.item, Count: e.count, Eps: e.eps})
+	}
+	sortStates(out)
+	return out
+}
+
+func sortStates(cs []CounterState) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Count != cs[j].Count {
+			return cs[i].Count < cs[j].Count
+		}
+		return cs[i].Item < cs[j].Item
+	})
+}
+
+// HeavyHitters returns every monitored item whose estimate interval
+// can reach threshold (count+under >= threshold) in descending count
+// order; by the SpaceSaving guarantee this includes every item with
+// true frequency >= threshold provided threshold > MinCount()+under.
+func (s *Summary) HeavyHitters(threshold uint64) []core.Counter {
+	var out []core.Counter
+	for _, e := range s.entries {
+		if e.count+s.under >= threshold {
+			out = append(out, core.Counter{Item: e.item, Count: e.count})
+		}
+	}
+	core.SortCountersDesc(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Summary) Clone() *Summary {
+	c := New(s.k)
+	c.n = s.n
+	c.under = s.under
+	c.rebuild(s.States())
+	return c
+}
+
+// Reset restores the summary to its freshly-constructed state.
+func (s *Summary) Reset() {
+	s.n = 0
+	s.under = 0
+	clear(s.entries)
+	s.minB, s.maxB = nil, nil
+}
+
+// rebuild replaces the structure contents with the given states, which
+// must be sorted ascending and fit within k.
+func (s *Summary) rebuild(states []CounterState) {
+	clear(s.entries)
+	s.minB, s.maxB = nil, nil
+	hint := (*bucket)(nil)
+	for _, st := range states {
+		e := &entry{item: st.Item, count: st.Count, eps: st.Eps}
+		s.entries[st.Item] = e
+		s.placeFrom(hint, e)
+		hint = e.b
+	}
+}
+
+// FromStates reconstructs a summary from explicit counter states, used
+// by the codec and by tests replaying the paper's worked examples.
+func FromStates(k int, n, under uint64, states []CounterState) (*Summary, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("spacesaving: k must be >= 1, have %d", k)
+	}
+	if len(states) > k {
+		return nil, fmt.Errorf("spacesaving: %d counters exceed k=%d", len(states), k)
+	}
+	seen := make(map[core.Item]bool, len(states))
+	for _, st := range states {
+		if st.Count == 0 {
+			return nil, fmt.Errorf("spacesaving: zero count for item %d", st.Item)
+		}
+		if seen[st.Item] {
+			return nil, fmt.Errorf("spacesaving: duplicate item %d", st.Item)
+		}
+		seen[st.Item] = true
+	}
+	s := New(k)
+	s.n = n
+	s.under = under
+	cp := make([]CounterState, len(states))
+	copy(cp, states)
+	sortStates(cp)
+	s.rebuild(cp)
+	return s, nil
+}
+
+// checkInvariants validates the internal structure; used by tests.
+func (s *Summary) checkInvariants() error {
+	seen := 0
+	var prev *bucket
+	for b := s.minB; b != nil; b = b.next {
+		if b.prev != prev {
+			return fmt.Errorf("bucket back-link broken at count %d", b.count)
+		}
+		if prev != nil && prev.count >= b.count {
+			return fmt.Errorf("buckets not ascending: %d then %d", prev.count, b.count)
+		}
+		if b.head == nil {
+			return fmt.Errorf("empty bucket with count %d", b.count)
+		}
+		var prevE *entry
+		for e := b.head; e != nil; e = e.next {
+			if e.b != b {
+				return fmt.Errorf("entry %d points to wrong bucket", e.item)
+			}
+			if e.prev != prevE {
+				return fmt.Errorf("entry back-link broken at item %d", e.item)
+			}
+			if e.count != b.count {
+				return fmt.Errorf("entry %d count %d in bucket %d", e.item, e.count, b.count)
+			}
+			if s.entries[e.item] != e {
+				return fmt.Errorf("map does not point at entry %d", e.item)
+			}
+			seen++
+			prevE = e
+		}
+		if b.tail != prevE {
+			return fmt.Errorf("bucket tail wrong at count %d", b.count)
+		}
+		prev = b
+	}
+	if s.maxB != prev {
+		return fmt.Errorf("maxB wrong")
+	}
+	if seen != len(s.entries) {
+		return fmt.Errorf("bucket entries %d != map size %d", seen, len(s.entries))
+	}
+	if len(s.entries) > s.k {
+		return fmt.Errorf("size %d exceeds k=%d", len(s.entries), s.k)
+	}
+	return nil
+}
+
+var _ core.CounterSummary = (*Summary)(nil)

@@ -1,0 +1,290 @@
+// Package stats provides the error metrics and table rendering used by
+// the experiment harness: frequency-estimation error summaries,
+// heavy-hitter recall/precision, quantile rank-error sweeps, and an
+// aligned ASCII table writer for reproducible experiment output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+// FreqErr summarizes the estimation error of a frequency summary
+// against the exact table, over all items of the table.
+type FreqErr struct {
+	MaxAbs     uint64  // max |est - true|
+	SumAbs     uint64  // Σ |est - true| (the total-error metric of the supplied text)
+	MeanAbs    float64 // SumAbs / #items
+	MaxOver    uint64  // max est - true (overestimation side)
+	MaxUnder   uint64  // max true - est (underestimation side)
+	Violations int     // items whose guaranteed interval misses the truth
+	Items      int
+}
+
+// MeasureFreq compares est against every item of the exact table.
+func MeasureFreq(truth *exact.FreqTable, est func(core.Item) core.Estimate) FreqErr {
+	var out FreqErr
+	for _, c := range truth.Counters() {
+		e := est(c.Item)
+		out.Items++
+		var abs uint64
+		if e.Value >= c.Count {
+			abs = e.Value - c.Count
+			if abs > out.MaxOver {
+				out.MaxOver = abs
+			}
+		} else {
+			abs = c.Count - e.Value
+			if abs > out.MaxUnder {
+				out.MaxUnder = abs
+			}
+		}
+		out.SumAbs += abs
+		if abs > out.MaxAbs {
+			out.MaxAbs = abs
+		}
+		if !e.Contains(c.Count) {
+			out.Violations++
+		}
+	}
+	if out.Items > 0 {
+		out.MeanAbs = float64(out.SumAbs) / float64(out.Items)
+	}
+	return out
+}
+
+// Recall is the classification quality of a reported heavy-hitter set
+// against the true set.
+type Recall struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// MeasureRecall compares reported items against true items.
+func MeasureRecall(truth, reported []core.Counter) Recall {
+	ts := make(map[core.Item]bool, len(truth))
+	for _, c := range truth {
+		ts[c.Item] = true
+	}
+	var out Recall
+	seen := make(map[core.Item]bool, len(reported))
+	for _, c := range reported {
+		if seen[c.Item] {
+			continue
+		}
+		seen[c.Item] = true
+		if ts[c.Item] {
+			out.TruePositives++
+		} else {
+			out.FalsePositives++
+		}
+	}
+	out.FalseNegatives = len(truth) - out.TruePositives
+	return out
+}
+
+// RecallRate returns TP/(TP+FN), or 1 for an empty truth set.
+func (r Recall) RecallRate() float64 {
+	if r.TruePositives+r.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(r.TruePositives) / float64(r.TruePositives+r.FalseNegatives)
+}
+
+// PrecisionRate returns TP/(TP+FP), or 1 for an empty report.
+func (r Recall) PrecisionRate() float64 {
+	if r.TruePositives+r.FalsePositives == 0 {
+		return 1
+	}
+	return float64(r.TruePositives) / float64(r.TruePositives+r.FalsePositives)
+}
+
+// F1 returns the harmonic mean of recall and precision.
+func (r Recall) F1() float64 {
+	p, q := r.PrecisionRate(), r.RecallRate()
+	if p+q == 0 {
+		return 0
+	}
+	return 2 * p * q / (p + q)
+}
+
+// QuantileErr summarizes rank error of a quantile summary over a phi
+// sweep, normalized by n (so 0.01 means a 1% rank error).
+type QuantileErr struct {
+	MaxRel  float64
+	MeanRel float64
+	Queries int
+}
+
+// DefaultPhis is the standard phi sweep used by experiments.
+var DefaultPhis = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+
+// MeasureQuantiles sweeps phis, comparing the summary's quantile
+// answers against the exact oracle by realized rank.
+func MeasureQuantiles(oracle *exact.Quantiles, s core.QuantileSummary, phis []float64) QuantileErr {
+	var out QuantileErr
+	n := float64(oracle.N())
+	if n == 0 {
+		return out
+	}
+	var sum float64
+	for _, phi := range phis {
+		got := s.Quantile(phi)
+		trueRank := float64(oracle.Rank(got))
+		rel := math.Abs(trueRank-phi*n) / n
+		sum += rel
+		if rel > out.MaxRel {
+			out.MaxRel = rel
+		}
+		out.Queries++
+	}
+	out.MeanRel = sum / float64(out.Queries)
+	return out
+}
+
+// Table is a simple aligned ASCII table for experiment output.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the formatted cell at (row, col); used by tests.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (header row first,
+// no title), the plot-ready format cmd/experiments -csv emits.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table,
+// the format EXPERIMENTS.md embeds.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+func TestMeasureFreq(t *testing.T) {
+	truth := exact.NewFreqTable()
+	truth.Add(1, 10)
+	truth.Add(2, 20)
+	truth.Add(3, 5)
+	est := func(x core.Item) core.Estimate {
+		switch x {
+		case 1:
+			return core.Estimate{Value: 8, Lower: 8, Upper: 12} // under by 2
+		case 2:
+			return core.Estimate{Value: 25, Lower: 20, Upper: 25} // over by 5
+		default:
+			return core.Estimate{Value: 5, Lower: 5, Upper: 5} // exact
+		}
+	}
+	got := MeasureFreq(truth, est)
+	if got.Items != 3 {
+		t.Fatalf("Items = %d", got.Items)
+	}
+	if got.MaxAbs != 5 || got.SumAbs != 7 {
+		t.Errorf("MaxAbs=%d SumAbs=%d", got.MaxAbs, got.SumAbs)
+	}
+	if got.MaxOver != 5 || got.MaxUnder != 2 {
+		t.Errorf("MaxOver=%d MaxUnder=%d", got.MaxOver, got.MaxUnder)
+	}
+	if math.Abs(got.MeanAbs-7.0/3) > 1e-12 {
+		t.Errorf("MeanAbs = %v", got.MeanAbs)
+	}
+	if got.Violations != 0 {
+		t.Errorf("Violations = %d", got.Violations)
+	}
+}
+
+func TestMeasureFreqViolations(t *testing.T) {
+	truth := exact.NewFreqTable()
+	truth.Add(1, 10)
+	est := func(core.Item) core.Estimate {
+		return core.Estimate{Value: 3, Lower: 3, Upper: 5} // interval misses 10
+	}
+	if got := MeasureFreq(truth, est); got.Violations != 1 {
+		t.Errorf("Violations = %d, want 1", got.Violations)
+	}
+}
+
+func TestMeasureRecall(t *testing.T) {
+	truth := []core.Counter{{Item: 1, Count: 10}, {Item: 2, Count: 9}, {Item: 3, Count: 8}}
+	reported := []core.Counter{{Item: 1, Count: 11}, {Item: 3, Count: 7}, {Item: 9, Count: 6}, {Item: 9, Count: 6}}
+	r := MeasureRecall(truth, reported)
+	if r.TruePositives != 2 || r.FalsePositives != 1 || r.FalseNegatives != 1 {
+		t.Fatalf("recall = %+v", r)
+	}
+	if math.Abs(r.RecallRate()-2.0/3) > 1e-12 {
+		t.Errorf("RecallRate = %v", r.RecallRate())
+	}
+	if math.Abs(r.PrecisionRate()-2.0/3) > 1e-12 {
+		t.Errorf("PrecisionRate = %v", r.PrecisionRate())
+	}
+	if math.Abs(r.F1()-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", r.F1())
+	}
+}
+
+func TestRecallDegenerate(t *testing.T) {
+	r := MeasureRecall(nil, nil)
+	if r.RecallRate() != 1 || r.PrecisionRate() != 1 {
+		t.Error("empty sets should give perfect rates")
+	}
+}
+
+type fixedQuantiles struct{ vals []float64 }
+
+func (f fixedQuantiles) Update(float64)      {}
+func (f fixedQuantiles) N() uint64           { return uint64(len(f.vals)) }
+func (f fixedQuantiles) Rank(float64) uint64 { return 0 }
+func (f fixedQuantiles) Quantile(phi float64) float64 {
+	i := int(phi * float64(len(f.vals)))
+	if i >= len(f.vals) {
+		i = len(f.vals) - 1
+	}
+	return f.vals[i]
+}
+
+func TestMeasureQuantilesPerfect(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	oracle := exact.QuantilesOf(vals)
+	got := MeasureQuantiles(oracle, fixedQuantiles{vals}, DefaultPhis)
+	if got.MaxRel > 0.002 {
+		t.Errorf("perfect summary MaxRel = %v", got.MaxRel)
+	}
+	if got.Queries != len(DefaultPhis) {
+		t.Errorf("Queries = %d", got.Queries)
+	}
+}
+
+func TestMeasureQuantilesEmptyOracle(t *testing.T) {
+	got := MeasureQuantiles(exact.QuantilesOf(nil), fixedQuantiles{[]float64{1}}, DefaultPhis)
+	if got.Queries != 0 || got.MaxRel != 0 {
+		t.Errorf("empty oracle: %+v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E00: demo", "name", "value", "relerr")
+	tb.AddRow("alpha", 42, 0.123456)
+	tb.AddRow("beta-long-name", 7, 1.0)
+	out := tb.String()
+	if !strings.Contains(out, "E00: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "beta-long-name") {
+		t.Error("missing row")
+	}
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("float not formatted to 4 significant digits:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// All data lines must align: header and separator equal length.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned header/separator:\n%s", out)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 0) != "alpha" || tb.Cell(1, 1) != "7" {
+		t.Error("Cell accessor wrong")
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := NewTable("E00: md", "a", "b")
+	tb.AddRow("x|y", 1)
+	var b strings.Builder
+	if err := tb.RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "**E00: md**") {
+		t.Error("missing bold title")
+	}
+	if !strings.Contains(out, "| a | b |") {
+		t.Errorf("missing header row:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Error("missing separator row")
+	}
+	if !strings.Contains(out, `x\|y`) {
+		t.Error("pipe not escaped")
+	}
+}

@@ -1,0 +1,29 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func FuzzUnmarshal(f *testing.F) {
+	tr := New(8, 32, 2, 1)
+	for i := 0; i < 500; i++ {
+		tr.Update(core.Item(i%40), 1)
+	}
+	seed, _ := tr.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Tracker
+		if err := out.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if len(out.Top()) > out.K() {
+			t.Fatal("accepted frame overflows directory")
+		}
+		if _, err := out.MarshalBinary(); err != nil {
+			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+	})
+}

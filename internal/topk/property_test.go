@@ -1,0 +1,80 @@
+package topk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property: the directory never exceeds k, estimates never fall below
+// the true count (Count-Min inheritance), and the directory's weakest
+// member never has a higher estimate than its strongest.
+func TestPropertyDirectoryInvariants(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		tr := New(k, 128, 3, 7)
+		truth := make(map[core.Item]uint64)
+		for i := 0; i+1 < len(raw); i += 2 {
+			x := core.Item(raw[i] % 24)
+			w := uint64(raw[i+1]%9) + 1
+			tr.Update(x, w)
+			truth[x] += w
+		}
+		top := tr.Top()
+		if len(top) > k {
+			return false
+		}
+		for i := 1; i < len(top); i++ {
+			if top[i-1].Count < top[i].Count {
+				return false
+			}
+		}
+		for x, c := range truth {
+			if tr.Estimate(x).Value < c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging preserves the no-underestimate guarantee over the
+// union for any split.
+func TestPropertyMergeNoUnderestimate(t *testing.T) {
+	f := func(raw []byte, cut uint8) bool {
+		a, b := New(8, 128, 3, 7), New(8, 128, 3, 7)
+		truth := make(map[core.Item]uint64)
+		split := 0
+		if len(raw) > 0 {
+			split = int(cut) % (len(raw) + 1)
+		}
+		for i, bv := range raw {
+			x := core.Item(bv % 24)
+			if i < split {
+				a.Update(x, 1)
+			} else {
+				b.Update(x, 1)
+			}
+			truth[x]++
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		if a.N() != uint64(len(raw)) {
+			return false
+		}
+		for x, c := range truth {
+			if a.Estimate(x).Value < c {
+				return false
+			}
+		}
+		return len(a.Top()) <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package topk pairs a Count-Min sketch with a top-k candidate
+// directory, closing the gap that raw linear sketches have no item
+// list to report heavy hitters from. The tracker keeps the k items
+// with the largest sketch estimates seen so far; because Count-Min
+// never underestimates, any item whose true count exceeds the
+// directory's minimum estimate is guaranteed to enter the directory
+// when it is next updated.
+//
+// The tracker is mergeable in the framework's sense: sketches add
+// cell-wise, and the candidate directories union and re-rank against
+// the merged sketch. An item heavy in the union is heavy in at least
+// one part (the k-majority pigeonhole of the supplied text's Lemma
+// 1.2), so it appears in at least one input directory and survives the
+// re-rank.
+package topk
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/countmin"
+)
+
+// Tracker is a Count-Min-backed top-k heavy-hitter tracker. The zero
+// value is not usable; use New. Not safe for concurrent use.
+type Tracker struct {
+	k      int
+	sketch *countmin.Sketch
+	items  map[core.Item]*candidate
+	heap   candHeap
+}
+
+type candidate struct {
+	item  core.Item
+	est   uint64
+	index int
+}
+
+// candHeap is a min-heap on estimates: the root is the weakest
+// candidate, first to be displaced.
+type candHeap []*candidate
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].est < h[j].est }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *candHeap) Push(x interface{}) { c := x.(*candidate); c.index = len(*h); *h = append(*h, c) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// New returns a tracker keeping the top k items over a Count-Min
+// sketch with the given geometry. Trackers merge iff k and the sketch
+// geometry/seed match.
+func New(k, width, depth int, seed uint64) *Tracker {
+	if k < 1 {
+		panic("topk: k must be >= 1")
+	}
+	return &Tracker{
+		k:      k,
+		sketch: countmin.New(width, depth, seed),
+		items:  make(map[core.Item]*candidate, k),
+	}
+}
+
+// K returns the directory capacity.
+func (t *Tracker) K() int { return t.k }
+
+// N returns the total weight observed.
+func (t *Tracker) N() uint64 { return t.sketch.N() }
+
+// Update adds w >= 1 occurrences of x and refreshes the directory.
+func (t *Tracker) Update(x core.Item, w uint64) {
+	t.sketch.Update(x, w)
+	est := t.sketch.Estimate(x).Value
+	if c, ok := t.items[x]; ok {
+		c.est = est
+		heap.Fix(&t.heap, c.index)
+		return
+	}
+	if len(t.heap) < t.k {
+		c := &candidate{item: x, est: est}
+		t.items[x] = c
+		heap.Push(&t.heap, c)
+		return
+	}
+	if est > t.heap[0].est {
+		weakest := t.heap[0]
+		delete(t.items, weakest.item)
+		weakest.item = x
+		weakest.est = est
+		t.items[x] = weakest
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+// Estimate answers a point query via the underlying sketch.
+func (t *Tracker) Estimate(x core.Item) core.Estimate { return t.sketch.Estimate(x) }
+
+// Top returns the current directory in descending estimate order.
+func (t *Tracker) Top() []core.Counter {
+	out := make([]core.Counter, 0, len(t.heap))
+	for _, c := range t.heap {
+		out = append(out, core.Counter{Item: c.item, Count: c.est})
+	}
+	core.SortCountersDesc(out)
+	return out
+}
+
+// HeavyHitters returns directory items whose estimate reaches
+// threshold, descending.
+func (t *Tracker) HeavyHitters(threshold uint64) []core.Counter {
+	var out []core.Counter
+	for _, c := range t.heap {
+		if c.est >= threshold {
+			out = append(out, core.Counter{Item: c.item, Count: c.est})
+		}
+	}
+	core.SortCountersDesc(out)
+	return out
+}
+
+// Merge folds other into t: sketches add cell-wise, then both
+// directories are re-ranked against the merged sketch and the top k
+// survive. other is not modified.
+func (t *Tracker) Merge(other *Tracker) error {
+	if other == nil {
+		return core.ErrNilSummary
+	}
+	if t.k != other.k {
+		return core.ErrMismatchedK
+	}
+	if err := t.sketch.Merge(other.sketch); err != nil {
+		return err
+	}
+	t.rebuild(append(t.candidateItems(), other.candidateItems()...))
+	return nil
+}
+
+// Merged returns the merge of a and b without modifying either.
+func Merged(a, b *Tracker) (*Tracker, error) {
+	out := a.Clone()
+	if err := out.Merge(b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (t *Tracker) candidateItems() []core.Item {
+	out := make([]core.Item, 0, len(t.heap))
+	for _, c := range t.heap {
+		out = append(out, c.item)
+	}
+	return out
+}
+
+// rebuild replaces the directory with the top k of the given candidate
+// items, re-estimated against the current sketch.
+func (t *Tracker) rebuild(candidates []core.Item) {
+	clear(t.items)
+	t.heap = t.heap[:0]
+	for _, x := range candidates {
+		if _, dup := t.items[x]; dup {
+			continue
+		}
+		est := t.sketch.Estimate(x).Value
+		if len(t.heap) < t.k {
+			c := &candidate{item: x, est: est}
+			t.items[x] = c
+			heap.Push(&t.heap, c)
+			continue
+		}
+		if est > t.heap[0].est {
+			weakest := t.heap[0]
+			delete(t.items, weakest.item)
+			weakest.item = x
+			weakest.est = est
+			t.items[x] = weakest
+			heap.Fix(&t.heap, 0)
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Tracker) Clone() *Tracker {
+	c := &Tracker{
+		k:      t.k,
+		sketch: t.sketch.Clone(),
+		items:  make(map[core.Item]*candidate, len(t.items)),
+	}
+	c.rebuild(t.candidateItems())
+	return c
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the sketch frame
+// followed by the directory, wrapped in one outer frame.
+func (t *Tracker) MarshalBinary() ([]byte, error) {
+	inner, err := t.sketch.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var w codec.Buffer
+	w.Int(t.k)
+	w.Int(len(inner))
+	for _, b := range inner {
+		w.Uint64(uint64(b))
+	}
+	items := t.candidateItems()
+	w.Int(len(items))
+	for _, x := range items {
+		w.Uint64(uint64(x))
+	}
+	return codec.EncodeFrame(codec.KindCountMin, w.Bytes()), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tracker) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindCountMin, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	k := r.Int()
+	il := r.ArrayLen(1)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if k < 1 {
+		return fmt.Errorf("topk: implausible frame header (k=%d)", k)
+	}
+	inner := make([]byte, il)
+	for i := range inner {
+		inner[i] = byte(r.Uint64())
+	}
+	m := r.ArrayLen(1)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	items := make([]core.Item, 0, m)
+	for i := 0; i < m; i++ {
+		items = append(items, core.Item(r.Uint64()))
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	var sk countmin.Sketch
+	if err := sk.UnmarshalBinary(inner); err != nil {
+		return err
+	}
+	if m > k {
+		return fmt.Errorf("topk: %d candidates exceed k=%d", m, k)
+	}
+	out := &Tracker{k: k, sketch: &sk, items: make(map[core.Item]*candidate, m)}
+	out.rebuild(items)
+	*t = *out
+	return nil
+}
+
+var _ core.FrequencySummary = (*Tracker)(nil)

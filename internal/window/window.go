@@ -1,0 +1,104 @@
+// Package window turns any mergeable summary into a sliding-window
+// summary over tumbling epochs: updates go to the current epoch's
+// summary, the ring retains the most recent E epochs, and a window
+// query merges the relevant epochs on demand. Correctness is pure
+// mergeability (the PODS'12 property): the merged epoch summaries
+// carry the same guarantee as one summary built over the window's
+// stream — an extension the paper's framework makes one page of code.
+package window
+
+import (
+	"fmt"
+)
+
+// Windowed maintains a ring of per-epoch summaries of type S. It is
+// not safe for concurrent use; wrap with package shard for that.
+type Windowed[S any] struct {
+	epochs []S
+	seq    []uint64 // epoch sequence numbers, 0 = never used
+	head   int      // index of the current epoch
+	now    uint64   // current epoch sequence number (starts at 1)
+	mk     func(epoch uint64) S
+}
+
+// New returns a Windowed retaining the most recent capacity epochs;
+// mk builds an empty summary for a given epoch sequence number.
+func New[S any](capacity int, mk func(epoch uint64) S) *Windowed[S] {
+	if capacity < 1 {
+		panic("window: capacity must be >= 1")
+	}
+	w := &Windowed[S]{
+		epochs: make([]S, capacity),
+		seq:    make([]uint64, capacity),
+		mk:     mk,
+		now:    1,
+	}
+	w.epochs[0] = mk(1)
+	w.seq[0] = 1
+	return w
+}
+
+// Capacity returns the number of retained epochs.
+func (w *Windowed[S]) Capacity() int { return len(w.epochs) }
+
+// Epoch returns the current epoch sequence number (starting at 1).
+func (w *Windowed[S]) Epoch() uint64 { return w.now }
+
+// Current returns the summary receiving updates.
+func (w *Windowed[S]) Current() S { return w.epochs[w.head] }
+
+// Advance closes the current epoch and opens a fresh one, discarding
+// the oldest epoch once the ring is full.
+func (w *Windowed[S]) Advance() {
+	w.now++
+	w.head = (w.head + 1) % len(w.epochs)
+	w.epochs[w.head] = w.mk(w.now)
+	w.seq[w.head] = w.now
+}
+
+// Query merges the summaries of the most recent `last` epochs
+// (including the current one) into a fresh summary: clone copies an
+// epoch summary, merge folds src into dst. last is clamped to the
+// retained range.
+func (w *Windowed[S]) Query(last int, clone func(S) S, merge func(dst, src S) error) (S, error) {
+	var zero S
+	if last < 1 {
+		last = 1
+	}
+	if last > len(w.epochs) {
+		last = len(w.epochs)
+	}
+	var acc S
+	started := false
+	for i := 0; i < last; i++ {
+		idx := (w.head - i + len(w.epochs)) % len(w.epochs)
+		if w.seq[idx] == 0 || w.seq[idx] > w.now || w.seq[idx]+uint64(last) <= w.now {
+			continue // never used, or outside the requested window
+		}
+		if !started {
+			acc = clone(w.epochs[idx])
+			started = true
+			continue
+		}
+		if err := merge(acc, clone(w.epochs[idx])); err != nil {
+			return zero, fmt.Errorf("window: merging epoch %d: %w", w.seq[idx], err)
+		}
+	}
+	if !started {
+		return zero, fmt.Errorf("window: no epochs in range")
+	}
+	return acc, nil
+}
+
+// Epochs returns the retained (sequence, summary) pairs from newest to
+// oldest; used for inspection and tests.
+func (w *Windowed[S]) Epochs() []uint64 {
+	var out []uint64
+	for i := 0; i < len(w.epochs); i++ {
+		idx := (w.head - i + len(w.epochs)) % len(w.epochs)
+		if w.seq[idx] != 0 {
+			out = append(out, w.seq[idx])
+		}
+	}
+	return out
+}

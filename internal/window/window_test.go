@@ -1,0 +1,206 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/mg"
+	"repro/internal/randquant"
+)
+
+func newMG(uint64) *mg.Summary { return mg.New(32) }
+
+func cloneMG(s *mg.Summary) *mg.Summary { return s.Clone() }
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, newMG)
+}
+
+func TestEpochRotation(t *testing.T) {
+	w := New(3, newMG)
+	if w.Epoch() != 1 || w.Capacity() != 3 {
+		t.Fatalf("epoch=%d capacity=%d", w.Epoch(), w.Capacity())
+	}
+	for i := 0; i < 5; i++ {
+		w.Advance()
+	}
+	if w.Epoch() != 6 {
+		t.Fatalf("epoch = %d", w.Epoch())
+	}
+	got := w.Epochs()
+	want := []uint64{6, 5, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Epochs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Epochs = %v, want %v", got, want)
+		}
+	}
+}
+
+// The core property: a window query over the last w epochs answers
+// with the single-summary guarantee over exactly those epochs' items.
+func TestWindowQueryMatchesWindowStream(t *testing.T) {
+	const epochs = 10
+	const perEpoch = 5000
+	const retain = 4
+	w := New(retain, newMG)
+	streams := make([][]core.Item, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		if e > 0 {
+			w.Advance()
+		}
+		stream := gen.NewZipf(300, 1.3, uint64(e)+1).Stream(perEpoch)
+		streams = append(streams, stream)
+		cur := w.Current()
+		for _, x := range stream {
+			cur.Update(x, 1)
+		}
+	}
+	for _, last := range []int{1, 2, 4} {
+		q, err := w.Query(last, cloneMG, (*mg.Summary).Merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.N() != uint64(last*perEpoch) {
+			t.Fatalf("last=%d: N=%d, want %d", last, q.N(), last*perEpoch)
+		}
+		truth := exact.NewFreqTable()
+		for _, s := range streams[epochs-last:] {
+			for _, x := range s {
+				truth.Add(x, 1)
+			}
+		}
+		bound := core.MGBound(q.N(), 32)
+		if q.ErrorBound() > bound {
+			t.Errorf("last=%d: bound %d > %d", last, q.ErrorBound(), bound)
+		}
+		for _, c := range truth.Counters()[:5] {
+			if e := q.Estimate(c.Item); !e.Contains(c.Count) {
+				t.Errorf("last=%d: interval %v misses %d for item %d", last, e, c.Count, c.Item)
+			}
+		}
+	}
+}
+
+// Querying must not disturb the retained epochs (clone semantics).
+func TestQueryIsNonDestructive(t *testing.T) {
+	w := New(3, newMG)
+	w.Current().Update(1, 5)
+	w.Advance()
+	w.Current().Update(2, 7)
+	before := w.Current().N()
+	if _, err := w.Query(2, cloneMG, (*mg.Summary).Merge); err != nil {
+		t.Fatal(err)
+	}
+	if w.Current().N() != before {
+		t.Fatal("query modified the current epoch")
+	}
+	q2, err := w.Query(2, cloneMG, (*mg.Summary).Merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.N() != 12 {
+		t.Fatalf("repeat query N = %d, want 12", q2.N())
+	}
+}
+
+func TestQueryClamping(t *testing.T) {
+	w := New(2, newMG)
+	w.Current().Update(1, 3)
+	// last larger than capacity and smaller than 1 both clamp.
+	for _, last := range []int{-1, 0, 1, 2, 99} {
+		q, err := w.Query(last, cloneMG, (*mg.Summary).Merge)
+		if err != nil {
+			t.Fatalf("last=%d: %v", last, err)
+		}
+		if q.N() != 3 {
+			t.Fatalf("last=%d: N=%d", last, q.N())
+		}
+	}
+}
+
+func TestWindowWithQuantiles(t *testing.T) {
+	w := New(4, func(e uint64) *randquant.Summary { return randquant.NewEpsilon(0.02, e) })
+	var last2 []float64
+	for e := 0; e < 6; e++ {
+		if e > 0 {
+			w.Advance()
+		}
+		vals := gen.UniformValues(4000, uint64(e)+10)
+		for _, v := range vals {
+			w.Current().Update(v)
+		}
+		if e >= 4 {
+			last2 = append(last2, vals...)
+		}
+	}
+	q, err := w.Query(2,
+		func(s *randquant.Summary) *randquant.Summary { return s.Clone() },
+		(*randquant.Summary).Merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N() != uint64(len(last2)) {
+		t.Fatalf("N = %d, want %d", q.N(), len(last2))
+	}
+	oracle := exact.QuantilesOf(last2)
+	med := q.Quantile(0.5)
+	rank := oracle.Rank(med)
+	n := uint64(len(last2))
+	if rank < n/2-n/25 || rank > n/2+n/25 {
+		t.Errorf("median rank %d too far from %d", rank, n/2)
+	}
+}
+
+// Property: for any sequence of per-epoch weights and any window
+// length, the window query's N is exactly the sum of the covered
+// epochs' weights.
+func TestPropertyWindowWeights(t *testing.T) {
+	f := func(weights []uint8, capRaw, lastRaw uint8) bool {
+		capacity := int(capRaw%6) + 1
+		w := New(capacity, newMG)
+		epochWeights := make([]uint64, 0, len(weights)+1)
+		for i, wt := range weights {
+			if i > 0 {
+				w.Advance()
+			}
+			n := uint64(wt%9) + 1
+			w.Current().Update(core.Item(i), n)
+			epochWeights = append(epochWeights, n)
+		}
+		if len(epochWeights) == 0 {
+			w.Current().Update(0, 1)
+			epochWeights = append(epochWeights, 1)
+		}
+		last := int(lastRaw%8) + 1
+		got, err := w.Query(last, cloneMG, (*mg.Summary).Merge)
+		if err != nil {
+			return false
+		}
+		eff := last
+		if eff > capacity {
+			eff = capacity
+		}
+		if eff > len(epochWeights) {
+			eff = len(epochWeights)
+		}
+		var want uint64
+		for _, n := range epochWeights[len(epochWeights)-eff:] {
+			want += n
+		}
+		return got.N() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
