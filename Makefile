@@ -1,0 +1,37 @@
+# Standard verify entrypoint: `make check` runs vet, build, the full
+# race-enabled test suite, and a short benchmark smoke pass over the
+# per-item and batch ingestion paths.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench-json fuzz clean
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick compile-and-run smoke over every Update/UpdateBatch benchmark;
+# 100 iterations keeps it a few seconds, not a measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Update -benchtime=100x .
+
+# Full measurement: regenerates results/bench.json (per-item vs batch
+# ns/op, allocs/op and speedups for every summary family).
+bench-json:
+	$(GO) run ./cmd/bench -out results/bench.json
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzUpdateBatch -fuzztime=30s ./internal/mg/
+
+clean:
+	$(GO) clean ./...

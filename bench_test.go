@@ -7,6 +7,7 @@
 package mergesum_test
 
 import (
+	"encoding"
 	"fmt"
 	"testing"
 
@@ -151,6 +152,143 @@ func BenchmarkBottomKUpdate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Update(vals[i%len(vals)])
+	}
+}
+
+// --- batch ingestion microbenchmarks ---------------------------------
+//
+// Each BenchmarkXxxUpdateBatch mirrors its per-item BenchmarkXxxUpdate
+// above, feeding the same stream in benchBatchLen-item slices; ns/op is
+// per item in both, so the ratio is the batch-path speedup.
+
+const benchBatchLen = 1024
+
+func BenchmarkMisraGriesUpdateBatch(b *testing.B) {
+	for _, k := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			stream := zipfStream()
+			s := mergesum.NewMisraGries(k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += benchBatchLen {
+				off := i % (len(stream) - benchBatchLen)
+				s.UpdateBatch(stream[off : off+benchBatchLen])
+			}
+		})
+	}
+}
+
+func BenchmarkSpaceSavingUpdateBatch(b *testing.B) {
+	for _, k := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			stream := zipfStream()
+			s := mergesum.NewSpaceSaving(k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += benchBatchLen {
+				off := i % (len(stream) - benchBatchLen)
+				s.UpdateBatch(stream[off : off+benchBatchLen])
+			}
+		})
+	}
+}
+
+func BenchmarkCountMinUpdateBatch(b *testing.B) {
+	stream := zipfStream()
+	s := mergesum.NewCountMin(1024, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(stream) - benchBatchLen)
+		s.UpdateBatch(stream[off : off+benchBatchLen])
+	}
+}
+
+func BenchmarkCountSketchUpdateBatch(b *testing.B) {
+	stream := zipfStream()
+	s := mergesum.NewCountSketch(1024, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(stream) - benchBatchLen)
+		s.UpdateBatch(stream[off : off+benchBatchLen])
+	}
+}
+
+func BenchmarkGKUpdateBatch(b *testing.B) {
+	vals := gen.UniformValues(benchStreamLen, 2)
+	s := mergesum.NewGK(0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(vals) - benchBatchLen)
+		s.UpdateBatch(vals[off : off+benchBatchLen])
+	}
+}
+
+func BenchmarkQuantileUpdateBatch(b *testing.B) {
+	vals := gen.UniformValues(benchStreamLen, 2)
+	s := mergesum.NewQuantile(0.01, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(vals) - benchBatchLen)
+		s.UpdateBatch(vals[off : off+benchBatchLen])
+	}
+}
+
+func BenchmarkQuantileHybridUpdateBatch(b *testing.B) {
+	vals := gen.UniformValues(benchStreamLen, 2)
+	s := mergesum.NewQuantileHybrid(0.01, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(vals) - benchBatchLen)
+		s.UpdateBatch(vals[off : off+benchBatchLen])
+	}
+}
+
+func BenchmarkBottomKUpdateBatch(b *testing.B) {
+	vals := gen.UniformValues(benchStreamLen, 2)
+	s := mergesum.NewBottomK(4096, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(vals) - benchBatchLen)
+		s.UpdateBatch(vals[off : off+benchBatchLen])
+	}
+}
+
+func BenchmarkKMVUpdateBatch(b *testing.B) {
+	stream := zipfStream()
+	s := mergesum.NewKMV(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(stream) - benchBatchLen)
+		s.UpdateBatch(stream[off : off+benchBatchLen])
+	}
+}
+
+func BenchmarkHLLUpdateBatch(b *testing.B) {
+	stream := zipfStream()
+	s := mergesum.NewHLL(12, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(stream) - benchBatchLen)
+		s.UpdateBatch(stream[off : off+benchBatchLen])
+	}
+}
+
+func BenchmarkTopKUpdateBatch(b *testing.B) {
+	stream := zipfStream()
+	s := mergesum.NewTopK(64, 512, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += benchBatchLen {
+		off := i % (len(stream) - benchBatchLen)
+		s.UpdateBatch(stream[off : off+benchBatchLen])
 	}
 }
 
@@ -386,6 +524,103 @@ func BenchmarkShardedIngest(b *testing.B) {
 	})
 }
 
+// Sharded batched ingestion: items are buffered per goroutine and
+// pushed through Sharded.UpdateBatch, paying one lock acquisition per
+// shard per batch instead of one per item. ns/op is per item, directly
+// comparable to BenchmarkShardedIngest.
+func BenchmarkShardedIngestBatch(b *testing.B) {
+	for _, p := range []int{8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			stream := zipfStream()
+			sh := shard.New(p, func(int) *mergesum.MisraGries { return mergesum.NewMisraGries(256) })
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				buf := make([]mergesum.Item, 0, benchBatchLen)
+				scratch := make([]mergesum.Item, 0, benchBatchLen)
+				i := 0
+				flush := func() {
+					if len(buf) == 0 {
+						return
+					}
+					sh.UpdateBatch(len(buf),
+						func(j int) uint64 { return uint64(buf[j]) },
+						func(s *mergesum.MisraGries, idxs []int) {
+							scratch = scratch[:0]
+							for _, j := range idxs {
+								scratch = append(scratch, buf[j])
+							}
+							s.UpdateBatch(scratch)
+						})
+					buf = buf[:0]
+				}
+				for pb.Next() {
+					buf = append(buf, stream[i%len(stream)])
+					i++
+					if len(buf) == benchBatchLen {
+						flush()
+					}
+				}
+				flush()
+			})
+		})
+	}
+}
+
+// Sharded distinct counting: HLL shards keyed by the raw item. The
+// batch path's win is largest here because HLL.UpdateBatch hoists the
+// seed and register slice out of the loop on top of the amortized
+// locking.
+func BenchmarkShardedHLLIngest(b *testing.B) {
+	stream := zipfStream()
+	sh := shard.New(8, func(int) *mergesum.HLL { return mergesum.NewHLL(12, 1) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			x := stream[i%len(stream)]
+			sh.Update(uint64(x), func(s *mergesum.HLL) { s.Update(x) })
+			i++
+		}
+	})
+}
+
+func BenchmarkShardedHLLIngestBatch(b *testing.B) {
+	stream := zipfStream()
+	sh := shard.New(8, func(int) *mergesum.HLL { return mergesum.NewHLL(12, 1) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]mergesum.Item, 0, benchBatchLen)
+		scratch := make([]mergesum.Item, 0, benchBatchLen)
+		i := 0
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			sh.UpdateBatch(len(buf),
+				func(j int) uint64 { return uint64(buf[j]) },
+				func(s *mergesum.HLL, idxs []int) {
+					scratch = scratch[:0]
+					for _, j := range idxs {
+						scratch = append(scratch, buf[j])
+					}
+					s.UpdateBatch(scratch)
+				})
+			buf = buf[:0]
+		}
+		for pb.Next() {
+			buf = append(buf, stream[i%len(stream)])
+			i++
+			if len(buf) == benchBatchLen {
+				flush()
+			}
+		}
+		flush()
+	})
+}
+
 // Server round-trip: one PUSH of a k=256 MG summary into a live
 // summaryd over loopback TCP, including encode, wire, decode and merge.
 func BenchmarkServerPush(b *testing.B) {
@@ -410,6 +645,41 @@ func BenchmarkServerPush(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Push("bench", "mg", s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Server batched round-trip: PUSHB pipelines 16 frames behind one
+// command line and one reply. ns/op is per pushed summary, directly
+// comparable to BenchmarkServerPush.
+func BenchmarkServerPushBatch(b *testing.B) {
+	srv := server.New()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+	c, err := server.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	s := buildMG(256, 1)
+	const per = 16
+	batch := make([]encoding.BinaryMarshaler, per)
+	for i := range batch {
+		batch[i] = s
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += per {
+		if _, err := c.PushBatch("bench", "mg", batch); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,345 @@
+// Command bench measures the per-item and batched ingestion paths of
+// every summary family and records the results as JSON, so the batch
+// speedup trajectory can be tracked across commits.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out results/bench.json [-benchtime 1s]
+//
+// ns/op is per ingested item on both paths (batch benchmarks advance
+// b.N by the batch length per call), so speedup = per_item / batch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	mergesum "repro"
+	"repro/internal/gen"
+	"repro/internal/shard"
+)
+
+const (
+	streamLen = 1 << 16
+	batchLen  = 1024
+)
+
+type pathResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type familyResult struct {
+	Family  string     `json:"family"`
+	PerItem pathResult `json:"per_item"`
+	Batch   pathResult `json:"batch"`
+	Speedup float64    `json:"speedup"`
+}
+
+type report struct {
+	Schema     int            `json:"schema"`
+	Go         string         `json:"go"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	BatchLen   int            `json:"batch_len"`
+	StreamLen  int            `json:"stream_len"`
+	Families   []familyResult `json:"families"`
+}
+
+func toPath(r testing.BenchmarkResult) pathResult {
+	return pathResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+type workload struct {
+	family  string
+	perItem func(b *testing.B)
+	batch   func(b *testing.B)
+}
+
+func itemWorkload(family string, stream []mergesum.Item,
+	mk func() func(x mergesum.Item), mkBatch func() func(xs []mergesum.Item)) workload {
+	return workload{
+		family: family,
+		perItem: func(b *testing.B) {
+			up := mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				up(stream[i%len(stream)])
+			}
+		},
+		batch: func(b *testing.B) {
+			up := mkBatch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batchLen {
+				off := i % (len(stream) - batchLen)
+				up(stream[off : off+batchLen])
+			}
+		},
+	}
+}
+
+func valueWorkload(family string, vals []float64,
+	mk func() func(v float64), mkBatch func() func(vs []float64)) workload {
+	return workload{
+		family: family,
+		perItem: func(b *testing.B) {
+			up := mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				up(vals[i%len(vals)])
+			}
+		},
+		batch: func(b *testing.B) {
+			up := mkBatch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batchLen {
+				off := i % (len(vals) - batchLen)
+				up(vals[off : off+batchLen])
+			}
+		},
+	}
+}
+
+// shardedWorkload ingests the stream from GOMAXPROCS goroutines into p
+// lock-guarded shards of any summary type: per item (one lock
+// acquisition each) vs batched (one acquisition per shard per batchLen
+// items, with the shard's own UpdateBatch inside the lock).
+func shardedWorkload[S any](family string, p int, stream []mergesum.Item,
+	mk func(int) S, update func(S, mergesum.Item), updateBatch func(S, []mergesum.Item)) workload {
+	return workload{
+		family: fmt.Sprintf("%s/shards=%d", family, p),
+		perItem: func(b *testing.B) {
+			sh := shard.New(p, mk)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					x := stream[i%len(stream)]
+					sh.Update(uint64(x), func(s S) { update(s, x) })
+					i++
+				}
+			})
+		},
+		batch: func(b *testing.B) {
+			sh := shard.New(p, mk)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				buf := make([]mergesum.Item, 0, batchLen)
+				scratch := make([]mergesum.Item, 0, batchLen)
+				i := 0
+				flush := func() {
+					if len(buf) == 0 {
+						return
+					}
+					sh.UpdateBatch(len(buf),
+						func(j int) uint64 { return uint64(buf[j]) },
+						func(s S, idxs []int) {
+							scratch = scratch[:0]
+							for _, j := range idxs {
+								scratch = append(scratch, buf[j])
+							}
+							updateBatch(s, scratch)
+						})
+					buf = buf[:0]
+				}
+				for pb.Next() {
+					buf = append(buf, stream[i%len(stream)])
+					i++
+					if len(buf) == batchLen {
+						flush()
+					}
+				}
+				flush()
+			})
+		},
+	}
+}
+
+func shardedMG(p int, stream []mergesum.Item) workload {
+	return shardedWorkload("sharded_mg", p, stream,
+		func(int) *mergesum.MisraGries { return mergesum.NewMisraGries(256) },
+		func(s *mergesum.MisraGries, x mergesum.Item) { s.Update(x, 1) },
+		func(s *mergesum.MisraGries, xs []mergesum.Item) { s.UpdateBatch(xs) })
+}
+
+func shardedHLL(p int, stream []mergesum.Item) workload {
+	return shardedWorkload("sharded_hll", p, stream,
+		func(int) *mergesum.HLL { return mergesum.NewHLL(12, 1) },
+		func(s *mergesum.HLL, x mergesum.Item) { s.Update(x) },
+		func(s *mergesum.HLL, xs []mergesum.Item) { s.UpdateBatch(xs) })
+}
+
+func main() {
+	out := flag.String("out", "results/bench.json", "output path for the JSON report")
+	benchtime := flag.Duration("benchtime", time.Second, "target time per measurement")
+	flag.Parse()
+
+	stream := gen.NewZipf(streamLen/16, 1.2, 1).Stream(streamLen)
+	vals := gen.UniformValues(streamLen, 2)
+
+	workloads := []workload{
+		itemWorkload("misra_gries/k=64", stream,
+			func() func(mergesum.Item) {
+				s := mergesum.NewMisraGries(64)
+				return func(x mergesum.Item) { s.Update(x, 1) }
+			},
+			func() func([]mergesum.Item) {
+				s := mergesum.NewMisraGries(64)
+				return s.UpdateBatch
+			}),
+		itemWorkload("misra_gries/k=1024", stream,
+			func() func(mergesum.Item) {
+				s := mergesum.NewMisraGries(1024)
+				return func(x mergesum.Item) { s.Update(x, 1) }
+			},
+			func() func([]mergesum.Item) {
+				s := mergesum.NewMisraGries(1024)
+				return s.UpdateBatch
+			}),
+		itemWorkload("spacesaving/k=256", stream,
+			func() func(mergesum.Item) {
+				s := mergesum.NewSpaceSaving(256)
+				return func(x mergesum.Item) { s.Update(x, 1) }
+			},
+			func() func([]mergesum.Item) {
+				s := mergesum.NewSpaceSaving(256)
+				return s.UpdateBatch
+			}),
+		itemWorkload("countmin/w=1024,d=4", stream,
+			func() func(mergesum.Item) {
+				s := mergesum.NewCountMin(1024, 4, 1)
+				return func(x mergesum.Item) { s.Update(x, 1) }
+			},
+			func() func([]mergesum.Item) {
+				s := mergesum.NewCountMin(1024, 4, 1)
+				return s.UpdateBatch
+			}),
+		itemWorkload("countsketch/w=1024,d=4", stream,
+			func() func(mergesum.Item) {
+				s := mergesum.NewCountSketch(1024, 4, 1)
+				return func(x mergesum.Item) { s.Update(x, 1) }
+			},
+			func() func([]mergesum.Item) {
+				s := mergesum.NewCountSketch(1024, 4, 1)
+				return s.UpdateBatch
+			}),
+		itemWorkload("kmv/k=1024", stream,
+			func() func(mergesum.Item) {
+				s := mergesum.NewKMV(1024, 1)
+				return func(x mergesum.Item) { s.Update(x) }
+			},
+			func() func([]mergesum.Item) {
+				s := mergesum.NewKMV(1024, 1)
+				return s.UpdateBatch
+			}),
+		itemWorkload("hll/p=12", stream,
+			func() func(mergesum.Item) {
+				s := mergesum.NewHLL(12, 1)
+				return func(x mergesum.Item) { s.Update(x) }
+			},
+			func() func([]mergesum.Item) {
+				s := mergesum.NewHLL(12, 1)
+				return s.UpdateBatch
+			}),
+		itemWorkload("topk/k=64", stream,
+			func() func(mergesum.Item) {
+				s := mergesum.NewTopK(64, 512, 4, 1)
+				return func(x mergesum.Item) { s.Update(x, 1) }
+			},
+			func() func([]mergesum.Item) {
+				s := mergesum.NewTopK(64, 512, 4, 1)
+				return s.UpdateBatch
+			}),
+		valueWorkload("gk/eps=0.01", vals,
+			func() func(float64) {
+				s := mergesum.NewGK(0.01)
+				return s.Update
+			},
+			func() func([]float64) {
+				s := mergesum.NewGK(0.01)
+				return s.UpdateBatch
+			}),
+		valueWorkload("randquant/eps=0.01", vals,
+			func() func(float64) {
+				s := mergesum.NewQuantile(0.01, 1)
+				return s.Update
+			},
+			func() func([]float64) {
+				s := mergesum.NewQuantile(0.01, 1)
+				return s.UpdateBatch
+			}),
+		valueWorkload("hybrid/eps=0.01", vals,
+			func() func(float64) {
+				s := mergesum.NewQuantileHybrid(0.01, 1)
+				return s.Update
+			},
+			func() func([]float64) {
+				s := mergesum.NewQuantileHybrid(0.01, 1)
+				return s.UpdateBatch
+			}),
+		valueWorkload("bottomk/k=4096", vals,
+			func() func(float64) {
+				s := mergesum.NewBottomK(4096, 1)
+				return s.Update
+			},
+			func() func([]float64) {
+				s := mergesum.NewBottomK(4096, 1)
+				return s.UpdateBatch
+			}),
+		shardedMG(8, stream),
+		shardedMG(16, stream),
+		shardedHLL(8, stream),
+	}
+
+	rep := report{
+		Schema:     1,
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BatchLen:   batchLen,
+		StreamLen:  streamLen,
+	}
+	testing.Init()
+	flag.Set("test.benchtime", benchtime.String())
+	for _, w := range workloads {
+		item := toPath(testing.Benchmark(w.perItem))
+		batch := toPath(testing.Benchmark(w.batch))
+		fr := familyResult{Family: w.family, PerItem: item, Batch: batch}
+		if batch.NsPerOp > 0 {
+			fr.Speedup = item.NsPerOp / batch.NsPerOp
+		}
+		rep.Families = append(rep.Families, fr)
+		fmt.Printf("%-24s per-item %8.2f ns/op  batch %8.2f ns/op  speedup %.2fx\n",
+			w.family, item.NsPerOp, batch.NsPerOp, fr.Speedup)
+	}
+
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

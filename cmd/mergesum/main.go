@@ -217,15 +217,11 @@ func cmdBuild(args []string) error {
 		}
 		if *typ == "mg" {
 			s := mg.New(*k)
-			for _, x := range items {
-				s.Update(x, 1)
-			}
+			s.UpdateBatch(items)
 			return writeSummary(*out, s)
 		}
 		s := spacesaving.New(*k)
-		for _, x := range items {
-			s.Update(x, 1)
-		}
+		s.UpdateBatch(items)
 		return writeSummary(*out, s)
 	case "gk", "quantile":
 		vals, err := readValues(*in)
@@ -234,15 +230,11 @@ func cmdBuild(args []string) error {
 		}
 		if *typ == "gk" {
 			s := gk.New(*eps)
-			for _, v := range vals {
-				s.Update(v)
-			}
+			s.UpdateBatch(vals)
 			return writeSummary(*out, s)
 		}
 		s := randquant.NewEpsilon(*eps, *seed)
-		for _, v := range vals {
-			s.Update(v)
-		}
+		s.UpdateBatch(vals)
 		return writeSummary(*out, s)
 	default:
 		return fmt.Errorf("build: unknown type %q", *typ)

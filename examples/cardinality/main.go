@@ -32,17 +32,19 @@ func main() {
 		hlls[e] = mergesum.NewHLL(12, 7)
 		rng := gen.NewRNG(uint64(e) + 1)
 		local := make(map[mergesum.Item]bool)
-		for i := 0; i < perEdge; i++ {
+		users := make([]mergesum.Item, perEdge)
+		for i := range users {
 			// Users are Zipf-popular: hot users hit every edge.
 			u := core.Item(rng.Uint64n(universe))
 			if rng.Bool() { // half the traffic comes from a hot 1%
 				u = core.Item(rng.Uint64n(universe / 100))
 			}
-			kmvs[e].Update(u)
-			hlls[e].Update(u)
+			users[i] = u
 			local[u] = true
 			global[u] = true
 		}
+		kmvs[e].UpdateBatch(users)
+		hlls[e].UpdateBatch(users)
 		perEdgeDistinctSum += float64(len(local))
 	}
 

@@ -46,9 +46,9 @@ func main() {
 			z := gen.NewZipf(10000, 1.3, uint64(id)+1)
 			s := mergesum.NewMisraGries(k)
 			local := exact.NewFreqTable()
-			for i := 0; i < perWorker; i++ {
-				x := z.Sample()
-				s.Update(x, 1)
+			shard := z.Stream(perWorker)
+			s.UpdateBatch(shard)
+			for _, x := range shard {
 				local.Add(x, 1)
 			}
 			truthMu.Lock()

@@ -29,13 +29,16 @@ func main() {
 	z := gen.NewZipf(flows, zipfAlpha, 7)
 	truth := exact.NewFreqTable()
 	summaries := make([]*mergesum.SpaceSaving, links)
+	packets := make([]mergesum.Item, packetsPer)
 	for l := 0; l < links; l++ {
 		summaries[l] = mergesum.NewSpaceSaving(k)
-		for i := 0; i < packetsPer; i++ {
-			flow := z.Sample()
-			truth.Add(flow, 1)
-			summaries[l].Update(flow, 1)
+		for i := range packets {
+			packets[i] = z.Sample()
+			truth.Add(packets[i], 1)
 		}
+		// Ingest the link's buffer through the batch path — how a real
+		// collector would drain a packet ring.
+		summaries[l].UpdateBatch(packets)
 	}
 
 	// Star merge at the collector, low-total-error variant.

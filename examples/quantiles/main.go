@@ -35,10 +35,8 @@ func main() {
 		}
 		lat := gen.LogNormalValues(perShard, mu, sigma, uint64(s)+1)
 		summaries[s] = mergesum.NewQuantile(eps, uint64(s)+100)
-		for _, v := range lat {
-			summaries[s].Update(v)
-			hybrid.Update(v)
-		}
+		summaries[s].UpdateBatch(lat)
+		hybrid.UpdateBatch(lat)
 		all = append(all, lat...)
 	}
 

@@ -19,15 +19,11 @@ func main() {
 		}
 	}
 
-	// Two sites each see half the stream.
+	// Two sites each see half the stream, ingested via the batch path
+	// (one call per site instead of one per item).
 	left, right := mergesum.NewMisraGries(8), mergesum.NewMisraGries(8)
-	for i, x := range stream {
-		if i < len(stream)/2 {
-			left.Update(x, 1)
-		} else {
-			right.Update(x, 1)
-		}
-	}
+	left.UpdateBatch(stream[:len(stream)/2])
+	right.UpdateBatch(stream[len(stream)/2:])
 
 	// Merge right into left. The merged summary obeys the same error
 	// bound n/(k+1) as a single summary over the whole stream — that
@@ -52,8 +48,10 @@ func main() {
 	// The same library also does quantiles: a mergeable summary of a
 	// value stream.
 	q := mergesum.NewQuantile(0.01, 42)
-	for i := 0; i < 100000; i++ {
-		q.Update(float64(i))
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = float64(i)
 	}
+	q.UpdateBatch(vals)
 	fmt.Printf("median of 0..99999 ~ %.0f, p99 ~ %.0f\n", q.Quantile(0.5), q.Quantile(0.99))
 }

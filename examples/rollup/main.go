@@ -50,10 +50,8 @@ func main() {
 		}
 		lats := gen.LogNormalValues(perMinute, mu, 0.5, uint64(m)+100)
 
-		for i := range keys {
-			freqW.Current().Update(keys[i], 1)
-			latW.Current().Update(lats[i])
-		}
+		freqW.Current().UpdateBatch(keys)
+		latW.Current().UpdateBatch(lats)
 		keyEpochs = append(keyEpochs, keys)
 		latEpochs = append(latEpochs, lats)
 	}

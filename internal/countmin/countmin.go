@@ -29,6 +29,10 @@ type Sketch struct {
 	rows         [][]uint64
 	a, b         []uint64 // per-row multiply-shift hash parameters
 	conservative bool
+	// scratch holds one column index per row so an item's cells are
+	// hashed once and reused (conservative updates, UpdateAndEstimate,
+	// batch paths). Lazily allocated; never shared between sketches.
+	scratch []int
 }
 
 // New returns an empty sketch with the given geometry. Two sketches
@@ -111,15 +115,123 @@ func (s *Sketch) Update(x core.Item, w uint64) {
 		}
 		return
 	}
-	// Conservative update: raise every cell to at most est+w.
-	est := s.estimate(x)
-	target := est + w
+	s.conservativeUpdate(x, w)
+}
+
+// cells fills the scratch buffer with x's column index in every row and
+// returns it. The buffer is reused across calls, so each item is hashed
+// only once even when its cells are read and then written.
+func (s *Sketch) cells(x core.Item) []int {
+	if cap(s.scratch) < s.depth {
+		s.scratch = make([]int, s.depth)
+	}
+	idx := s.scratch[:s.depth]
+	width := uint64(s.width)
 	for i := 0; i < s.depth; i++ {
-		c := s.cell(i, x)
-		if s.rows[i][c] < target {
-			s.rows[i][c] = target
+		idx[i] = int(((s.a[i]*uint64(x) + s.b[i]) >> 17) % width)
+	}
+	return idx
+}
+
+// conservativeUpdate raises every cell of x to at most est+w and
+// returns the new estimate (which is exactly est+w: the minimum cell is
+// raised to the target and no cell ends below it). It does not touch n.
+func (s *Sketch) conservativeUpdate(x core.Item, w uint64) uint64 {
+	idx := s.cells(x)
+	min := s.rows[0][idx[0]]
+	for i := 1; i < s.depth; i++ {
+		if v := s.rows[i][idx[i]]; v < min {
+			min = v
 		}
 	}
+	target := min + w
+	for i := 0; i < s.depth; i++ {
+		if s.rows[i][idx[i]] < target {
+			s.rows[i][idx[i]] = target
+		}
+	}
+	return target
+}
+
+// UpdateAndEstimate adds w >= 1 occurrences of x and returns the point
+// estimate after the update. It is equivalent to Update followed by
+// Estimate but hashes each row only once, which matters on hot
+// ingestion paths that need the fresh estimate (e.g. top-k tracking).
+func (s *Sketch) UpdateAndEstimate(x core.Item, w uint64) uint64 {
+	if w == 0 {
+		panic("countmin: zero-weight update")
+	}
+	s.n += w
+	if s.conservative {
+		return s.conservativeUpdate(x, w)
+	}
+	idx := s.cells(x)
+	s.rows[0][idx[0]] += w
+	min := s.rows[0][idx[0]]
+	for i := 1; i < s.depth; i++ {
+		s.rows[i][idx[i]] += w
+		if v := s.rows[i][idx[i]]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// UpdateBatch adds one occurrence of every item in xs. The result is
+// identical to calling Update(x, 1) for each x in order, but the batch
+// path walks the matrix row-major with the row's hash parameters held
+// in registers, amortizing per-item loads and bounds checks.
+func (s *Sketch) UpdateBatch(xs []core.Item) {
+	if len(xs) == 0 {
+		return
+	}
+	if s.conservative {
+		for _, x := range xs {
+			s.conservativeUpdate(x, 1)
+		}
+		s.n += uint64(len(xs))
+		return
+	}
+	width := uint64(s.width)
+	for i := 0; i < s.depth; i++ {
+		ai, bi := s.a[i], s.b[i]
+		row := s.rows[i]
+		for _, x := range xs {
+			row[((ai*uint64(x)+bi)>>17)%width]++
+		}
+	}
+	s.n += uint64(len(xs))
+}
+
+// UpdateBatchWeighted adds Count occurrences of every Item in ws, the
+// weighted variant of UpdateBatch. All weights must be >= 1.
+func (s *Sketch) UpdateBatchWeighted(ws []core.Counter) {
+	if len(ws) == 0 {
+		return
+	}
+	var total uint64
+	for _, c := range ws {
+		if c.Count == 0 {
+			panic("countmin: zero-weight update")
+		}
+		total += c.Count
+	}
+	if s.conservative {
+		for _, c := range ws {
+			s.conservativeUpdate(c.Item, c.Count)
+		}
+		s.n += total
+		return
+	}
+	width := uint64(s.width)
+	for i := 0; i < s.depth; i++ {
+		ai, bi := s.a[i], s.b[i]
+		row := s.rows[i]
+		for _, c := range ws {
+			row[((ai*uint64(c.Item)+bi)>>17)%width] += c.Count
+		}
+	}
+	s.n += total
 }
 
 // Remove subtracts w occurrences of x — the strict-turnstile model,

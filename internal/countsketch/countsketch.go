@@ -94,6 +94,60 @@ func (s *Sketch) Update(x core.Item, w uint64) {
 	}
 }
 
+// UpdateBatch adds one occurrence of every item in xs. The result is
+// identical to calling Update(x, 1) for each x, but the batch path
+// walks the matrix row-major with the row's bucket and sign hash
+// parameters held in registers, amortizing per-item loads and bounds
+// checks.
+func (s *Sketch) UpdateBatch(xs []core.Item) {
+	if len(xs) == 0 {
+		return
+	}
+	width := uint64(s.width)
+	for i := 0; i < s.depth; i++ {
+		ai, bi, sai := s.a[i], s.b[i], s.sa[i]
+		row := s.rows[i]
+		for _, x := range xs {
+			c := ((ai*uint64(x) + bi) >> 17) % width
+			if (sai*uint64(x))>>63 == 1 {
+				row[c]--
+			} else {
+				row[c]++
+			}
+		}
+	}
+	s.n += uint64(len(xs))
+}
+
+// UpdateBatchWeighted adds Count occurrences of every Item in ws, the
+// weighted variant of UpdateBatch. All weights must be >= 1.
+func (s *Sketch) UpdateBatchWeighted(ws []core.Counter) {
+	if len(ws) == 0 {
+		return
+	}
+	var total uint64
+	for _, c := range ws {
+		if c.Count == 0 {
+			panic("countsketch: zero-weight update")
+		}
+		total += c.Count
+	}
+	width := uint64(s.width)
+	for i := 0; i < s.depth; i++ {
+		ai, bi, sai := s.a[i], s.b[i], s.sa[i]
+		row := s.rows[i]
+		for _, c := range ws {
+			cell := ((ai*uint64(c.Item) + bi) >> 17) % width
+			if (sai*uint64(c.Item))>>63 == 1 {
+				row[cell] -= int64(c.Count)
+			} else {
+				row[cell] += int64(c.Count)
+			}
+		}
+	}
+	s.n += total
+}
+
 // Remove subtracts w occurrences of x. Count-Sketch is a signed linear
 // sketch, so deletions are exact (general turnstile model): Remove is
 // Update with negated weight and even over-deletions keep the sketch

@@ -57,9 +57,7 @@ func runE01(cfg Config) Result {
 				merged, err := mergetree.BuildAndMerge(parts,
 					func(part []core.Item) *mg.Summary {
 						s := mg.New(k)
-						for _, x := range part {
-							s.Update(x, 1)
-						}
+						s.UpdateBatch(part)
 						return s
 					},
 					fold, (*mg.Summary).Merge)
@@ -97,11 +95,15 @@ func runE02(cfg Config) Result {
 		truth := exact.FreqOf(stream)
 		parts := gen.PartitionByHash(stream, sites, func(x core.Item) uint64 { return uint64(x) * 0x9e3779b1 })
 		for _, k := range ks {
-			// Isomorphism check on the unmerged whole stream.
+			// Isomorphism check on the unmerged whole stream. SS's batch
+			// path is state-identical to its per-item path, but MG must
+			// stay per-item here: the SS-min == MG isomorphism is stated
+			// for the per-item MG pruning schedule, and MG's UpdateBatch
+			// defers pruning (guarantee-equivalent, not state-identical).
 			ssWhole := spacesaving.New(k)
+			ssWhole.UpdateBatch(stream)
 			mgWhole := mg.New(k - 1)
 			for _, x := range stream {
-				ssWhole.Update(x, 1)
 				mgWhole.Update(x, 1)
 			}
 			iso := true
@@ -120,9 +122,7 @@ func runE02(cfg Config) Result {
 				merged, err := mergetree.BuildAndMerge(parts,
 					func(part []core.Item) *spacesaving.Summary {
 						s := spacesaving.New(k)
-						for _, x := range part {
-							s.Update(x, 1)
-						}
+						s.UpdateBatch(part)
 						return s
 					},
 					fold, (*spacesaving.Summary).Merge)
@@ -164,9 +164,7 @@ func runE03(cfg Config) Result {
 		mgMerged, err := mergetree.BuildAndMerge(parts,
 			func(part []core.Item) *mg.Summary {
 				s := mg.New(k)
-				for _, x := range part {
-					s.Update(x, 1)
-				}
+				s.UpdateBatch(part)
 				return s
 			},
 			mergetree.Binary[*mg.Summary], (*mg.Summary).Merge)
@@ -176,9 +174,7 @@ func runE03(cfg Config) Result {
 		ssMerged, err := mergetree.BuildAndMerge(parts,
 			func(part []core.Item) *spacesaving.Summary {
 				s := spacesaving.New(k)
-				for _, x := range part {
-					s.Update(x, 1)
-				}
+				s.UpdateBatch(part)
 				return s
 			},
 			mergetree.Binary[*spacesaving.Summary], (*spacesaving.Summary).MergeLowError)
@@ -259,9 +255,7 @@ func runE04(cfg Config) Result {
 			var podsTE, lowTE uint64
 			buildMG := func(part []core.Item) *mg.Summary {
 				s := mg.New(k)
-				for _, x := range part {
-					s.Update(x, 1)
-				}
+				s.UpdateBatch(part)
 				return s
 			}
 			accP, accL := buildMG(parts[0]), buildMG(parts[0])
@@ -276,9 +270,7 @@ func runE04(cfg Config) Result {
 			podsTE, lowTE = 0, 0
 			buildSS := func(part []core.Item) *spacesaving.Summary {
 				s := spacesaving.New(k)
-				for _, x := range part {
-					s.Update(x, 1)
-				}
+				s.UpdateBatch(part)
 				return s
 			}
 			accPs, accLs := buildSS(parts[0]), buildSS(parts[0])

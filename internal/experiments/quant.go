@@ -38,9 +38,7 @@ func runE05(cfg Config) Result {
 				vals = gen.SortedValues(n)
 			}
 			s := gk.New(eps)
-			for _, v := range vals {
-				s.Update(v)
-			}
+			s.UpdateBatch(vals)
 			s.Flush()
 			oracle := exact.QuantilesOf(vals)
 			qe := stats.MeasureQuantiles(oracle, s, stats.DefaultPhis)
@@ -73,9 +71,7 @@ func runE06(cfg Config) Result {
 		gkM, err := mergetree.BuildAndMerge(parts,
 			func(part []float64) *gk.Summary {
 				s := gk.New(eps)
-				for _, v := range part {
-					s.Update(v)
-				}
+				s.UpdateBatch(part)
 				return s
 			},
 			mergetree.Binary[*gk.Summary], (*gk.Summary).Merge)
@@ -91,9 +87,7 @@ func runE06(cfg Config) Result {
 			func(part []float64) *randquant.Summary {
 				seed++
 				s := randquant.NewEpsilon(eps, seed)
-				for _, v := range part {
-					s.Update(v)
-				}
+				s.UpdateBatch(part)
 				return s
 			},
 			mergetree.Binary[*randquant.Summary], (*randquant.Summary).Merge)
@@ -135,9 +129,7 @@ func runE07(cfg Config) Result {
 				func(part []float64) *randquant.Summary {
 					seed++
 					s := randquant.NewEpsilon(eps, seed)
-					for _, v := range part {
-						s.Update(v)
-					}
+					s.UpdateBatch(part)
 					return s
 				},
 				mergetree.Binary[*randquant.Summary], (*randquant.Summary).Merge)
@@ -184,9 +176,7 @@ func runE08(cfg Config) Result {
 				func(part []float64) *randquant.Summary {
 					seed++
 					s := randquant.NewEpsilon(eps, seed)
-					for _, v := range part {
-						s.Update(v)
-					}
+					s.UpdateBatch(part)
 					return s
 				},
 				fold, (*randquant.Summary).Merge)
@@ -219,16 +209,12 @@ func runE09(cfg Config) Result {
 		oracle := exact.QuantilesOf(vals)
 
 		plain := randquant.NewEpsilon(eps, cfg.Seed+1)
-		for _, v := range vals {
-			plain.Update(v)
-		}
+		plain.UpdateBatch(vals)
 		qe := stats.MeasureQuantiles(oracle, plain, stats.DefaultPhis)
 		tb.AddRow(n, "plain", plain.Size(), plain.Levels(), qe.MaxRel, qe.MaxRel/eps)
 
 		hybrid := randquant.NewHybridEpsilon(eps, cfg.Seed+2)
-		for _, v := range vals {
-			hybrid.Update(v)
-		}
+		hybrid.UpdateBatch(vals)
 		qe = stats.MeasureQuantiles(oracle, hybrid, stats.DefaultPhis)
 		tb.AddRow(n, "hybrid", hybrid.Size(), hybrid.SampleLevel(), qe.MaxRel, qe.MaxRel/eps)
 	}

@@ -1,0 +1,66 @@
+package mg
+
+import "repro/internal/core"
+
+// pruneSlack is the extra headroom the batch path allows the counter
+// map before pruning: prune triggers at len > k+pruneSlack(k) instead
+// of len > k. Deferred pruning is guarantee-preserving — every prune
+// with m counters subtracts the (m−k)-th smallest count `cut` from the
+// k surviving counters and deletes at least one counter worth `cut`,
+// removing ≥ cut·(k+1) total mass per cut of dec, so dec ≤ n/(k+1)
+// still holds (the PODS'12 argument, which never uses m = k+1). The
+// payoff is amortization: the per-item path pays an O(k log k) prune
+// for every miss once the map is full; the batch path pays one prune
+// per k misses.
+func pruneSlack(k int) int {
+	// Match the merge algorithm's transient footprint: at most 2k live
+	// counters, pruned back to k.
+	return k
+}
+
+// UpdateBatch adds one occurrence of every item in xs. It is
+// guarantee-equivalent to calling Update(x, 1) for each x: same n, at
+// most k counters afterwards, no overestimation, and undercount at
+// most ErrorBound() ≤ n/(k+1). The summary state may differ from the
+// per-item loop's because pruning is deferred across the batch (see
+// pruneSlack).
+func (s *Summary) UpdateBatch(xs []core.Item) {
+	if len(xs) == 0 {
+		return
+	}
+	limit := s.k + pruneSlack(s.k)
+	for _, x := range xs {
+		s.counters[x]++
+		if len(s.counters) > limit {
+			s.prune()
+		}
+	}
+	s.n += uint64(len(xs))
+	if len(s.counters) > s.k {
+		s.prune()
+	}
+}
+
+// UpdateBatchWeighted adds Count occurrences of every Item in ws, the
+// weighted variant of UpdateBatch. All weights must be >= 1.
+func (s *Summary) UpdateBatchWeighted(ws []core.Counter) {
+	if len(ws) == 0 {
+		return
+	}
+	limit := s.k + pruneSlack(s.k)
+	var total uint64
+	for _, c := range ws {
+		if c.Count == 0 {
+			panic("mg: zero-weight update")
+		}
+		total += c.Count
+		s.counters[c.Item] += c.Count
+		if len(s.counters) > limit {
+			s.prune()
+		}
+	}
+	s.n += total
+	if len(s.counters) > s.k {
+		s.prune()
+	}
+}

@@ -25,7 +25,6 @@ package mg
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 )
@@ -40,6 +39,9 @@ type Summary struct {
 	// pruning has subtracted along any single counter's history. The
 	// MG invariant is dec ≤ n/(k+1).
 	dec uint64
+	// pruneBuf is scratch for prune's count selection, reused across
+	// prunes so the hot ingestion path stays allocation-free.
+	pruneBuf []uint64
 }
 
 // New returns an empty summary with capacity k >= 1 counters.
@@ -124,12 +126,12 @@ func (s *Summary) prune() {
 		return
 	}
 	// The (k+1)-th largest is the (m-k)-th smallest.
-	vals := make([]uint64, 0, m)
+	vals := s.pruneBuf[:0]
 	for _, v := range s.counters {
 		vals = append(vals, v)
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	cut := vals[m-s.k-1]
+	s.pruneBuf = vals
+	cut := selectKth(vals, m-s.k-1)
 	for x, v := range s.counters {
 		if v <= cut {
 			delete(s.counters, x)

@@ -1,0 +1,50 @@
+package randquant
+
+import "math"
+
+// UpdateBatch inserts every value in vs. The resulting state is
+// identical to calling Update(v) for each v in order: the partial
+// buffer fills in bulk copies and level-0 promotions trigger at
+// exactly the same points, consuming the same RNG draws. NaN values
+// panic, as in Update.
+func (s *Summary) UpdateBatch(vs []float64) {
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			panic("randquant: NaN has no rank")
+		}
+	}
+	for len(vs) > 0 {
+		room := s.s - len(s.partial)
+		if room <= 0 {
+			s.promotePartial()
+			continue
+		}
+		if room > len(vs) {
+			room = len(vs)
+		}
+		s.partial = append(s.partial, vs[:room]...)
+		s.n += uint64(room)
+		vs = vs[room:]
+		if len(s.partial) >= s.s {
+			s.promotePartial()
+		}
+	}
+}
+
+// UpdateBatch inserts every value in vs, identically to calling
+// Update(v) for each v in order (the same acceptance draws are
+// consumed in the same order).
+func (h *Hybrid) UpdateBatch(vs []float64) {
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			panic("randquant: NaN has no rank")
+		}
+		h.n++
+		if h.ell > 0 {
+			if h.rng.Uint64()&((1<<uint(h.ell))-1) != 0 {
+				continue
+			}
+		}
+		h.push(v)
+	}
+}

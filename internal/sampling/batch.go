@@ -1,0 +1,27 @@
+package sampling
+
+import (
+	"container/heap"
+	"math"
+)
+
+// UpdateBatch observes every value in vs. The resulting state is
+// identical to calling Update(v) for each v in order (the same tag
+// draws are consumed in the same order).
+func (s *BottomK) UpdateBatch(vs []float64) {
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			panic("sampling: NaN has no rank")
+		}
+		s.n++
+		t := tagged{tag: s.rng.Uint64(), v: v}
+		if len(s.keep) < s.k {
+			heap.Push(&s.keep, t)
+			continue
+		}
+		if t.tag < s.keep[0].tag {
+			s.keep[0] = t
+			heap.Fix(&s.keep, 0)
+		}
+	}
+}

@@ -68,6 +68,51 @@ func (c *Client) Push(slot, kind string, summary encoding.BinaryMarshaler) (uint
 	return strconv.ParseUint(rest, 10, 64)
 }
 
+// PushBatch merges every summary into the named slot with a single
+// PUSHB round-trip — all frames are pipelined behind one command line
+// and acknowledged by one reply — and returns the slot's total weight
+// after the batch. Batches longer than MaxBatch are split into
+// multiple round-trips transparently.
+func (c *Client) PushBatch(slot, kind string, summaries []encoding.BinaryMarshaler) (uint64, error) {
+	if len(summaries) == 0 {
+		return 0, fmt.Errorf("server: empty batch")
+	}
+	var n uint64
+	for len(summaries) > 0 {
+		chunk := summaries
+		if len(chunk) > MaxBatch {
+			chunk = chunk[:MaxBatch]
+		}
+		summaries = summaries[len(chunk):]
+		// Marshal everything before touching the wire so an encoding
+		// failure cannot leave a half-written batch on the stream.
+		frames := make([][]byte, len(chunk))
+		for i, s := range chunk {
+			data, err := s.MarshalBinary()
+			if err != nil {
+				return 0, err
+			}
+			frames[i] = data
+		}
+		fmt.Fprintf(c.w, "PUSHB %s %s %d\n", slot, kind, len(frames))
+		for _, f := range frames {
+			fmt.Fprintf(c.w, "%d\n", len(f))
+			c.w.Write(f)
+		}
+		if err := c.w.Flush(); err != nil {
+			return 0, err
+		}
+		rest, err := c.readStatus()
+		if err != nil {
+			return 0, err
+		}
+		if n, err = strconv.ParseUint(rest, 10, 64); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
 // Pull decodes the named slot's merged summary into out, returning the
 // slot's kind.
 func (c *Client) Pull(slot string, out encoding.BinaryUnmarshaler) (string, error) {

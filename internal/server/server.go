@@ -9,10 +9,20 @@
 // Protocol (text commands, binary frames):
 //
 //	PUSH <slot> <kind>\n<frame>   → OK <n>\n            merge frame into slot
+//	PUSHB <slot> <kind> <count>\n then <count> frames
+//	                              → OK <n>\n            merge all frames, one round-trip
 //	PULL <slot>\n                 → OK <kind> <len>\n<frame>
 //	STAT\n                        → OK <count>\n then "<slot> <kind> <n> <pushes>\n" each
 //	RESET <slot>\n                → OK 0\n              drop the slot
 //	QUIT\n                        → connection closes
+//
+// Every frame on the wire is preceded by its own "<len>\n" length
+// line. PUSHB is the batch ingestion command: workers pipeline up to
+// MaxBatch frames behind one command line and receive a single reply,
+// amortizing syscall, parse and slot-lock overhead across the batch;
+// the slot lock is taken once per batch, not once per frame. Frames
+// preceding a failed decode/merge within a batch stay merged (the
+// reply reports the error).
 //
 // Kinds: mg, ss, quantile, gk, qdigest, countmin, hll. A slot's kind
 // and shape are fixed by its first PUSH; mismatching pushes fail
@@ -41,6 +51,9 @@ import (
 // maxFrame bounds a single pushed frame (16 MiB) so a misbehaving
 // client cannot exhaust server memory with one length header.
 const maxFrame = 16 << 20
+
+// MaxBatch bounds the number of frames a single PUSHB may carry.
+const MaxBatch = 4096
 
 // ops adapts one summary kind to the slot interface.
 type ops struct {
@@ -201,6 +214,10 @@ func (s *Server) handle(conn net.Conn) {
 		switch strings.ToUpper(fields[0]) {
 		case "PUSH":
 			s.cmdPush(fields, r, w)
+		case "PUSHB":
+			if !s.cmdPushBatch(fields, r, w) {
+				return
+			}
 		case "PULL":
 			s.cmdPull(fields, w)
 		case "STAT":
@@ -278,6 +295,65 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) {
 	}
 	sl.pushes++
 	fmt.Fprintf(w, "OK %d\n", op.n(sl.summary))
+}
+
+// cmdPushBatch handles PUSHB <slot> <kind> <count>: count frames are
+// read and decoded up front (outside any lock), then merged into the
+// slot under a single lock acquisition. It returns false when the
+// connection must be dropped because the stream can no longer be kept
+// in sync (an unparseable count means we cannot know how many frames
+// follow).
+func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer) bool {
+	if len(fields) != 4 {
+		fmt.Fprintf(w, "ERR usage: PUSHB <slot> <kind> <count>\n")
+		return false
+	}
+	name, kind := fields[1], fields[2]
+	count, err := strconv.Atoi(fields[3])
+	if err != nil || count < 1 || count > MaxBatch {
+		fmt.Fprintf(w, "ERR bad batch count %q (want 1..%d)\n", fields[3], MaxBatch)
+		return false
+	}
+	// Read every frame first so the stream stays in sync regardless of
+	// per-frame errors below.
+	frames := make([][]byte, count)
+	for i := range frames {
+		if frames[i], err = readLengthPrefixed(r); err != nil {
+			fmt.Fprintf(w, "ERR reading frame %d/%d: %v\n", i+1, count, err)
+			return false
+		}
+	}
+	op, ok := s.kinds[kind]
+	if !ok {
+		fmt.Fprintf(w, "ERR unknown kind %q\n", kind)
+		return true
+	}
+	decoded := make([]any, count)
+	for i, f := range frames {
+		if decoded[i], err = op.decode(f); err != nil {
+			fmt.Fprintf(w, "ERR decoding frame %d/%d: %v\n", i+1, count, err)
+			return true
+		}
+	}
+	sl := s.getSlot(name)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.summary != nil && sl.kind != kind {
+		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, sl.kind)
+		return true
+	}
+	for i, incoming := range decoded {
+		if sl.summary == nil {
+			sl.kind = kind
+			sl.summary = incoming
+		} else if err := op.merge(sl.summary, incoming); err != nil {
+			fmt.Fprintf(w, "ERR merge frame %d/%d: %v\n", i+1, count, err)
+			return true
+		}
+		sl.pushes++
+	}
+	fmt.Fprintf(w, "OK %d\n", op.n(sl.summary))
+	return true
 }
 
 func (s *Server) cmdPull(fields []string, w *bufio.Writer) {

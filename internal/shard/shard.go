@@ -17,6 +17,9 @@ import (
 type Sharded[S any] struct {
 	mus    []sync.Mutex
 	shards []S
+	// parts pools per-shard index buffers for UpdateBatch so steady-
+	// state batch ingestion allocates nothing.
+	parts sync.Pool
 }
 
 // New returns a Sharded with p shards built by mk (called once per
@@ -53,6 +56,44 @@ func (s *Sharded[S]) Update(key uint64, f func(S)) {
 // summary accepts any routing, such as quantile summaries.
 func (s *Sharded[S]) UpdateAny(token uint64, f func(S)) {
 	s.Update(token, f)
+}
+
+// UpdateBatch ingests items [0, n) in one pass: it partitions the
+// indices by shard using key(i), then for every non-empty shard takes
+// that shard's lock once and calls apply with the shard's summary and
+// the indices routed to it (in ascending order). This turns n lock
+// acquisitions into at most Shards() per batch, which is where the
+// batch ingestion layer wins under contention; apply should feed the
+// indexed items to the summary's own batch method.
+//
+// The partition buffers are pooled, so steady-state batches allocate
+// nothing beyond what apply does. The idxs slice passed to apply is
+// only valid during the call.
+func (s *Sharded[S]) UpdateBatch(n int, key func(i int) uint64, apply func(shard S, idxs []int)) {
+	if n <= 0 {
+		return
+	}
+	p := uint64(len(s.shards))
+	var parts [][]int
+	if v := s.parts.Get(); v != nil {
+		parts = *(v.(*[][]int))
+	} else {
+		parts = make([][]int, p)
+	}
+	for i := 0; i < n; i++ {
+		b := key(i) % p
+		parts[b] = append(parts[b], i)
+	}
+	for b := range parts {
+		if len(parts[b]) == 0 {
+			continue
+		}
+		s.mus[b].Lock()
+		apply(s.shards[b], parts[b])
+		s.mus[b].Unlock()
+		parts[b] = parts[b][:0]
+	}
+	s.parts.Put(&parts)
 }
 
 // Snapshot clones every shard under its lock and folds the clones

@@ -170,3 +170,68 @@ func TestDrainRotation(t *testing.T) {
 		t.Fatalf("post-drain snapshot N = %d", snap.N())
 	}
 }
+
+// Concurrent batched ingestion: many goroutines push batches through
+// UpdateBatch (exercising the pooled partition buffers under -race);
+// the merged snapshot must carry the single-summary guarantee.
+func TestConcurrentBatchFrequency(t *testing.T) {
+	const (
+		workers   = 8
+		perW      = 20000
+		batchSize = 512
+		k         = 64
+	)
+	sh := New(workers, func(int) *mg.Summary { return mg.New(k) })
+	truthCh := make(chan []core.Item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			stream := gen.NewZipf(2000, 1.3, uint64(id)+1).Stream(perW)
+			for off := 0; off < len(stream); off += batchSize {
+				end := off + batchSize
+				if end > len(stream) {
+					end = len(stream)
+				}
+				chunk := stream[off:end]
+				sh.UpdateBatch(len(chunk),
+					func(i int) uint64 { return uint64(chunk[i]) },
+					func(s *mg.Summary, idxs []int) {
+						for _, i := range idxs {
+							s.Update(chunk[i], 1)
+						}
+					})
+			}
+			truthCh <- stream
+		}(w)
+	}
+	wg.Wait()
+	close(truthCh)
+	truth := exact.NewFreqTable()
+	for stream := range truthCh {
+		for _, x := range stream {
+			truth.Add(x, 1)
+		}
+	}
+
+	snap, err := sh.Snapshot(
+		func(s *mg.Summary) *mg.Summary { return s.Clone() },
+		(*mg.Summary).Merge,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(workers * perW)
+	if snap.N() != n {
+		t.Fatalf("snapshot N = %d, want %d", snap.N(), n)
+	}
+	if snap.ErrorBound() > core.MGBound(n, k) {
+		t.Errorf("bound %d > %d", snap.ErrorBound(), core.MGBound(n, k))
+	}
+	for _, c := range truth.Counters()[:20] {
+		if e := snap.Estimate(c.Item); !e.Contains(c.Count) {
+			t.Errorf("interval %v misses %d for item %d", e, c.Count, c.Item)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package spacesaving
+
+import "repro/internal/core"
+
+// UpdateBatch adds one occurrence of every item in xs. The resulting
+// state is identical to calling Update(x, 1) for each x in order — the
+// stream-summary structure is already O(1) per unit update, so the
+// batch path's win is amortizing call and validation overhead.
+func (s *Summary) UpdateBatch(xs []core.Item) {
+	for _, x := range xs {
+		s.update(x, 1)
+	}
+}
+
+// UpdateBatchWeighted adds Count occurrences of every Item in ws, the
+// weighted variant of UpdateBatch. All weights must be >= 1.
+func (s *Summary) UpdateBatchWeighted(ws []core.Counter) {
+	for _, c := range ws {
+		if c.Count == 0 {
+			panic("spacesaving: zero-weight update")
+		}
+	}
+	for _, c := range ws {
+		s.update(c.Item, c.Count)
+	}
+}

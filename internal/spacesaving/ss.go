@@ -109,6 +109,12 @@ func (s *Summary) Update(x core.Item, w uint64) {
 	if w == 0 {
 		panic("spacesaving: zero-weight update")
 	}
+	s.update(x, w)
+}
+
+// update is Update without the zero-weight check, shared with the
+// batch path.
+func (s *Summary) update(x core.Item, w uint64) {
 	s.n += w
 	if e, ok := s.entries[x]; ok {
 		s.increase(e, w)

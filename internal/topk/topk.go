@@ -75,9 +75,31 @@ func (t *Tracker) K() int { return t.k }
 func (t *Tracker) N() uint64 { return t.sketch.N() }
 
 // Update adds w >= 1 occurrences of x and refreshes the directory.
+// The sketch update and the directory's estimate refresh share one
+// pass over the sketch rows (countmin.UpdateAndEstimate).
 func (t *Tracker) Update(x core.Item, w uint64) {
-	t.sketch.Update(x, w)
-	est := t.sketch.Estimate(x).Value
+	est := t.sketch.UpdateAndEstimate(x, w)
+	t.refresh(x, est)
+}
+
+// UpdateBatch adds one occurrence of every item in xs and refreshes
+// the directory, identically to calling Update(x, 1) for each x.
+func (t *Tracker) UpdateBatch(xs []core.Item) {
+	for _, x := range xs {
+		t.refresh(x, t.sketch.UpdateAndEstimate(x, 1))
+	}
+}
+
+// UpdateBatchWeighted adds Count occurrences of every Item in ws, the
+// weighted variant of UpdateBatch. All weights must be >= 1.
+func (t *Tracker) UpdateBatchWeighted(ws []core.Counter) {
+	for _, c := range ws {
+		t.refresh(c.Item, t.sketch.UpdateAndEstimate(c.Item, c.Count))
+	}
+}
+
+// refresh installs x's fresh estimate into the top-k directory.
+func (t *Tracker) refresh(x core.Item, est uint64) {
 	if c, ok := t.items[x]; ok {
 		c.est = est
 		heap.Fix(&t.heap, c.index)
