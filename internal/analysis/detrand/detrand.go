@@ -1,0 +1,106 @@
+// Package detrand enforces the repository's determinism contract:
+// every random stream must be derived from an explicit caller-given
+// seed through internal/gen's splitmix64 RNG, so experiments, tests
+// and merged-summary guarantees are bit-reproducible across runs and
+// Go releases.
+//
+// The analyzer bans (outside internal/gen):
+//
+//   - importing math/rand or math/rand/v2 — their global generators
+//     are process-seeded and their algorithms are not covered by the
+//     Go 1 compatibility promise across stream values;
+//   - seeding any RNG from the clock: time.Now (or its UnixNano
+//     chain) appearing inside the arguments of a call whose name
+//     starts with "New" or contains "Seed".
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: `ban global math/rand and time-seeded RNGs outside internal/gen
+
+All randomness must flow from explicit seeds through gen.NewRNG so
+streams replay identically; see internal/gen's package doc.`,
+	Run: run,
+}
+
+// allowed reports whether pkgPath may import math/rand (the seeded
+// generator package itself, including its fixture stand-ins).
+func allowed(pkgPath string) bool {
+	return pkgPath == "repro/internal/gen" || strings.HasSuffix(pkgPath, "/gen")
+}
+
+func run(pass *analysis.Pass) error {
+	inGen := allowed(pass.PkgPath)
+	for _, f := range pass.Files {
+		if !inGen {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "import of %s outside internal/gen breaks stream reproducibility; use gen.NewRNG with an explicit seed", path)
+				}
+			}
+		}
+		checkTimeSeeding(pass, f)
+	}
+	return nil
+}
+
+// checkTimeSeeding reports clock-derived seeds: time.Now anywhere in
+// the arguments of a constructor or seeding call.
+func checkTimeSeeding(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if name == "" || !(strings.HasPrefix(name, "New") || strings.Contains(name, "Seed")) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if pos, found := findTimeNow(arg); found {
+				pass.Reportf(pos, "%s seeded from the clock; seeds must be explicit parameters so runs replay deterministically", name)
+			}
+		}
+		return true
+	})
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// findTimeNow locates a time.Now selector in the expression subtree.
+func findTimeNow(e ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found {
+			return !found
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && sel.Sel.Name == "Now" {
+			pos, found = sel.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

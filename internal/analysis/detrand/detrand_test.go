@@ -1,0 +1,18 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/detrand_a", detrand.Analyzer)
+}
+
+// TestDetrandAllowsGen checks the allowlist: packages whose import
+// path ends in /gen may import math/rand.
+func TestDetrandAllowsGen(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/gen", detrand.Analyzer)
+}

@@ -1,0 +1,194 @@
+// Package hotpathalloc checks the allocation and determinism budget
+// of functions annotated //sketch:hotpath — the UpdateBatch family
+// that PR 1 made the ingestion fast path. Inside an annotated
+// function the analyzer reports:
+//
+//   - calls into package fmt (every fmt call allocates and most
+//     box their operands);
+//   - unsized make(map[...]...) (grows by rehashing under batch
+//     load; hot paths must pre-size);
+//   - boxing a loop variable into an interface-typed parameter
+//     (one heap allocation per iteration);
+//   - nondeterminism: time.Now/time.Since and global math/rand —
+//     hot paths must be replayable, which the mergeability property
+//     tests rely on.
+//
+// panic("constant") remains allowed: guard clauses are part of the
+// summaries' contracts and cost nothing until they fire.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: `check //sketch:hotpath functions stay allocation-free and deterministic
+
+Annotated functions must not call fmt, build unsized maps, box loop
+variables into interface parameters, or consult time/math-rand.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//sketch:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	loopVars := collectLoopVars(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkCall(pass, fd, call, loopVars)
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, loopVars map[types.Object]bool) {
+	name := fd.Name.Name
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "make" && len(call.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(call.Pos(), "%s: unsized make(map) in hot path; pre-size the map", name)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkg := packageOf(pass, fun); pkg != "" {
+			switch {
+			case pkg == "fmt":
+				pass.Reportf(call.Pos(), "%s: fmt.%s call in hot path allocates; format outside the batch loop or panic with a constant", name, fun.Sel.Name)
+			case pkg == "time" && (fun.Sel.Name == "Now" || fun.Sel.Name == "Since"):
+				pass.Reportf(call.Pos(), "%s: time.%s in hot path is nondeterministic; take timestamps outside the batch layer", name, fun.Sel.Name)
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				pass.Reportf(call.Pos(), "%s: global math/rand call %s in hot path is nondeterministic; thread a seeded gen.RNG instead", name, fun.Sel.Name)
+			}
+		}
+	}
+	// Interface boxing of loop variables: a loop-scoped variable
+	// passed where the callee expects an interface allocates every
+	// iteration.
+	sig := signatureOf(pass, call)
+	if sig == nil || len(loopVars) == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !loopVars[obj] {
+			continue
+		}
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); isIface {
+			// Passing through a type parameter or to any/error
+			// boxes the loop variable.
+			pass.Reportf(arg.Pos(), "%s: loop variable %s boxed into interface parameter; hoist the conversion or use a concrete-typed helper", name, id.Name)
+		}
+	}
+}
+
+// packageOf resolves sel's base identifier to an imported package
+// path, or "".
+func packageOf(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// signatureOf returns the callee's signature when known.
+func signatureOf(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the type of parameter i, honoring variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// collectLoopVars gathers the objects declared as for/range loop
+// variables anywhere in fd.
+func collectLoopVars(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	define := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			define(n.Key)
+			define(n.Value)
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					define(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

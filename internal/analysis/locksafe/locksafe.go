@@ -1,0 +1,237 @@
+// Package locksafe checks the lock discipline of concurrent state:
+// struct fields annotated with a "guarded by <mutex>" comment may only
+// be accessed inside functions that visibly acquire a lock (a
+// *.Lock()/*.RLock() call) or that are annotated //sketch:locked,
+// meaning the caller guarantees exclusivity (e.g. constructors whose
+// receiver has not been published yet).
+//
+// The check is function-granular on purpose: it is not a may-happen-
+// in-parallel analysis, but it catches the realistic regression — a
+// new method or refactored helper touching sharded/served state
+// without taking the shard or slot lock first.
+//
+// len() and cap() of guarded slices and maps are exempt: in this
+// repository slice headers of guarded containers are immutable after
+// construction, and both shard routing and stat reporting rely on
+// reading lengths without the lock.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc: `check "guarded by" fields are only touched under a lock
+
+A struct field whose doc or line comment contains "guarded by <name>"
+may only be read or written inside functions that either contain a
+.Lock()/.RLock() call or carry a //sketch:locked annotation.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps field objects to the mutex name from their
+// "guarded by" annotation.
+func collectGuarded(pass *analysis.Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from "guarded by <name>" in
+// the field's doc or trailing comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		if i := strings.Index(text, "guarded by "); i >= 0 {
+			rest := strings.Fields(text[i+len("guarded by "):])
+			if len(rest) > 0 {
+				return strings.TrimRight(rest[0], ".,;")
+			}
+		}
+	}
+	return ""
+}
+
+// checkFunc reports guarded-field accesses in fd made without a lock.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	if hasAnnotation(fd.Doc, "//sketch:locked") {
+		return
+	}
+	locks := lockCallPositions(fd)
+	lenArgs := append(lenCapSpans(fd), indexRangeSpans(pass, fd)...)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		obj := selection.Obj()
+		// Methods on generic types see fields of an instantiated
+		// struct; map them back to the declared (origin) field the
+		// annotation was collected from.
+		if v, isVar := obj.(*types.Var); isVar {
+			obj = v.Origin()
+		}
+		mu, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		if inSpans(sel.Pos(), lenArgs) {
+			return true
+		}
+		if !lockedBefore(sel.Pos(), locks) {
+			pass.Reportf(sel.Pos(),
+				"access to field %s (guarded by %s) outside any visible %s.Lock(); hold the lock or annotate the function //sketch:locked",
+				selection.Obj().Name(), mu, mu)
+		}
+		return true
+	})
+}
+
+// hasAnnotation reports whether the comment group contains the given
+// machine annotation on a line of its own.
+func hasAnnotation(cg *ast.CommentGroup, ann string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == ann {
+			return true
+		}
+	}
+	return false
+}
+
+// lockCallPositions returns the positions of every .Lock()/.RLock()
+// call in fd.
+func lockCallPositions(fd *ast.FuncDecl) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				out = append(out, call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockedBefore reports whether any lock call precedes pos. Source
+// order is an approximation of execution order that matches the
+// straight-line lock/touch/unlock shape of this repository's code.
+func lockedBefore(pos token.Pos, locks []token.Pos) bool {
+	for _, l := range locks {
+		if l < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// span is a half-open position interval.
+type span struct{ lo, hi token.Pos }
+
+// lenCapSpans returns the argument spans of every len()/cap() call.
+func lenCapSpans(fd *ast.FuncDecl) []span {
+	var out []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			for _, a := range call.Args {
+				out = append(out, span{a.Pos(), a.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// indexRangeSpans returns the range-expression spans of index-only
+// loops over slices or arrays (`for i := range s.guarded`): like
+// len(), they read only the immutable slice header, and this shape is
+// how per-element locking loops (lock mus[i], touch shards[i]) start.
+func indexRangeSpans(pass *analysis.Pass, fd *ast.FuncDecl) []span {
+	var out []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		r, ok := n.(*ast.RangeStmt)
+		if !ok || r.Value != nil {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[r.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer:
+			out = append(out, span{r.X.Pos(), r.X.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func inSpans(pos token.Pos, spans []span) bool {
+	for _, s := range spans {
+		if pos >= s.lo && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package mergecompat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mergecompat"
+)
+
+func TestMergecompat(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/mergecompat_a", mergecompat.Analyzer)
+}

@@ -1,0 +1,31 @@
+// Package detrand_a is the detrand fixture: banned math/rand imports
+// and clock-derived seeds.
+package detrand_a
+
+import (
+	"math/rand" // want `import of math/rand outside internal/gen breaks stream reproducibility`
+	"time"
+)
+
+// RNG is a stand-in seeded generator.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds explicitly — the approved pattern, but see badSeed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+func badSeed() *RNG {
+	return NewRNG(uint64(time.Now().UnixNano())) // want `NewRNG seeded from the clock`
+}
+
+func alsoBad(r *rand.Rand) {
+	r.Seed(time.Now().UnixNano()) // want `Seed seeded from the clock`
+}
+
+func goodSeed(seed uint64) *RNG {
+	return NewRNG(seed)
+}
+
+func goodTiming() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

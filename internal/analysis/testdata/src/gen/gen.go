@@ -1,0 +1,12 @@
+// Package gen is the detrand allowlist fixture: a package whose
+// import path ends in /gen may use math/rand (the real
+// repro/internal/gen does not, but the allowlist is part of the
+// analyzer's contract).
+package gen
+
+import "math/rand"
+
+// FromSeed builds a generator from an explicit seed.
+func FromSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

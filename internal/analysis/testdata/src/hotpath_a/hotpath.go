@@ -1,0 +1,55 @@
+// Package hotpath_a is the hotpathalloc fixture: annotated hot-path
+// functions with allocation and determinism violations, and clean
+// counterparts.
+package hotpath_a
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sink consumes interface values, forcing a box at the call site.
+func Sink(v any) {}
+
+// SinkInt is the concrete-typed alternative.
+func SinkInt(v int) {}
+
+// Sum is a clean hot path: sized map, constant panic, concrete calls.
+//
+//sketch:hotpath
+func Sum(xs []int) int {
+	if xs == nil {
+		panic("hotpath_a: nil batch")
+	}
+	seen := make(map[int]int, len(xs))
+	total := 0
+	for _, x := range xs {
+		SinkInt(x)
+		seen[x]++
+		total += x
+	}
+	return total
+}
+
+// BadAlloc violates every rule at once.
+//
+//sketch:hotpath
+func BadAlloc(xs []int) uint64 {
+	seen := make(map[int]bool) // want `unsized make\(map\) in hot path`
+	start := time.Now()        // want `time.Now in hot path is nondeterministic`
+	for _, x := range xs {
+		fmt.Println(x) // want `fmt.Println call in hot path allocates` `loop variable x boxed into interface parameter`
+		Sink(x)        // want `loop variable x boxed into interface parameter`
+		seen[x] = true
+	}
+	return uint64(len(seen)) + uint64(time.Since(start)) // want `time.Since in hot path is nondeterministic`
+}
+
+// ColdPath is unannotated: the same constructs are fine here.
+func ColdPath(xs []int) {
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		fmt.Println(x)
+		seen[x] = true
+	}
+}

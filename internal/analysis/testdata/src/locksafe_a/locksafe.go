@@ -1,0 +1,73 @@
+// Package locksafe_a is the locksafe fixture: guarded fields accessed
+// with and without their lock.
+package locksafe_a
+
+import "sync"
+
+// Box holds counters behind a mutex.
+type Box struct {
+	mu sync.Mutex
+	// count is the running total.
+	count int // guarded by mu
+	// hits is accessed concurrently. guarded by mu
+	hits map[string]int
+	free int // unguarded: no annotation, never reported
+}
+
+// GoodLocked takes the lock before touching guarded state.
+func (b *Box) GoodLocked(k string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.count++
+	b.hits[k]++
+}
+
+// GoodAnnotated documents that the caller holds the lock.
+//
+//sketch:locked
+func (b *Box) GoodAnnotated() int {
+	return b.count
+}
+
+// GoodLen reads only the length of a guarded container, which the
+// analyzer exempts.
+func (b *Box) GoodLen() int {
+	return len(b.hits) + b.free
+}
+
+// BadUnlocked touches guarded state with no lock in sight.
+func (b *Box) BadUnlocked() int {
+	return b.count // want `access to field count \(guarded by mu\) outside any visible mu.Lock\(\)`
+}
+
+// BadWrite writes guarded state without the lock.
+func (b *Box) BadWrite(k string) {
+	b.hits[k]++ // want `access to field hits \(guarded by mu\) outside any visible mu.Lock\(\)`
+	b.free++
+}
+
+// Slab mirrors the sharded pattern: per-element locks over a slice.
+type Slab struct {
+	mus  []sync.Mutex
+	vals []int // guarded by mus
+}
+
+// GoodPerElement ranges over indices only (reads just the immutable
+// slice header, like len) and locks before touching each element.
+func (s *Slab) GoodPerElement() {
+	for i := range s.vals {
+		s.mus[i].Lock()
+		s.vals[i]++
+		s.mus[i].Unlock()
+	}
+}
+
+// BadValueRange reads guarded elements through a two-variable range
+// with no lock.
+func (s *Slab) BadValueRange() int {
+	t := 0
+	for _, v := range s.vals { // want `access to field vals \(guarded by mus\) outside any visible mus.Lock\(\)`
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+// Package mergecompat_a is the mergecompat fixture: summaries whose
+// Merge methods do and do not validate operand compatibility, and
+// call sites that keep or drop the merge error.
+package mergecompat_a
+
+import "errors"
+
+var errMismatch = errors.New("mismatched k")
+
+// Good validates before mutating.
+type Good struct {
+	k int
+	n uint64
+}
+
+func (g *Good) Merge(other *Good) error {
+	if other == nil {
+		return errors.New("nil operand")
+	}
+	if g.k != other.k {
+		return errMismatch
+	}
+	g.n += other.n
+	return nil
+}
+
+// BadNoCheck mutates the receiver with no compatibility gate.
+type BadNoCheck struct {
+	k int
+	n uint64
+}
+
+func (b *BadNoCheck) Merge(other *BadNoCheck) error {
+	b.n += other.n // want `mutates receiver "b" before validating operand compatibility`
+	return nil
+}
+
+// BadLateCheck mutates first and validates after the damage is done.
+type BadLateCheck struct {
+	k int
+	n uint64
+}
+
+func (b *BadLateCheck) MergeLowError(other *BadLateCheck) error {
+	b.n += other.n // want `mutates receiver "b" before validating operand compatibility`
+	if b.k != other.k {
+		return errMismatch
+	}
+	return nil
+}
+
+// use exercises the call-site rule.
+func use(a, b *Good) error {
+	a.Merge(b)       // want `result of Merge is dropped`
+	_ = a.Merge(b)   // want `result of Merge is assigned to the blank identifier`
+	go a.Merge(b)    // want `result of Merge is dropped by go statement`
+	defer a.Merge(b) // want `result of Merge is dropped by defer statement`
+	if err := a.Merge(b); err != nil {
+		return err
+	}
+	return a.Merge(b)
+}

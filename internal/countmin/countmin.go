@@ -113,9 +113,11 @@ func (s *Sketch) Update(x core.Item, w uint64) {
 		for i := 0; i < s.depth; i++ {
 			s.rows[i][s.cell(i, x)] += w
 		}
+		debugAssertSampled(s)
 		return
 	}
 	s.conservativeUpdate(x, w)
+	debugAssertSampled(s)
 }
 
 // cells fills the scratch buffer with x's column index in every row and
@@ -181,6 +183,8 @@ func (s *Sketch) UpdateAndEstimate(x core.Item, w uint64) uint64 {
 // identical to calling Update(x, 1) for each x in order, but the batch
 // path walks the matrix row-major with the row's hash parameters held
 // in registers, amortizing per-item loads and bounds checks.
+//
+//sketch:hotpath
 func (s *Sketch) UpdateBatch(xs []core.Item) {
 	if len(xs) == 0 {
 		return
@@ -190,6 +194,7 @@ func (s *Sketch) UpdateBatch(xs []core.Item) {
 			s.conservativeUpdate(x, 1)
 		}
 		s.n += uint64(len(xs))
+		debugAssert(s)
 		return
 	}
 	width := uint64(s.width)
@@ -201,10 +206,13 @@ func (s *Sketch) UpdateBatch(xs []core.Item) {
 		}
 	}
 	s.n += uint64(len(xs))
+	debugAssert(s)
 }
 
 // UpdateBatchWeighted adds Count occurrences of every Item in ws, the
 // weighted variant of UpdateBatch. All weights must be >= 1.
+//
+//sketch:hotpath
 func (s *Sketch) UpdateBatchWeighted(ws []core.Counter) {
 	if len(ws) == 0 {
 		return
@@ -221,6 +229,7 @@ func (s *Sketch) UpdateBatchWeighted(ws []core.Counter) {
 			s.conservativeUpdate(c.Item, c.Count)
 		}
 		s.n += total
+		debugAssert(s)
 		return
 	}
 	width := uint64(s.width)
@@ -232,6 +241,7 @@ func (s *Sketch) UpdateBatchWeighted(ws []core.Counter) {
 		}
 	}
 	s.n += total
+	debugAssert(s)
 }
 
 // Remove subtracts w occurrences of x — the strict-turnstile model,
@@ -296,6 +306,7 @@ func (s *Sketch) Merge(other *Sketch) error {
 		}
 	}
 	s.n += other.n
+	debugAssert(s)
 	return nil
 }
 

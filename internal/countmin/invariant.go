@@ -1,0 +1,58 @@
+//go:build sanitize
+
+package countmin
+
+import "fmt"
+
+// sanitizeEnabled reports whether this build carries the runtime
+// invariant layer (`go test -tags sanitize`). See DESIGN.md.
+const sanitizeEnabled = true
+
+// debugAssert panics if s violates the Count-Min structural
+// invariants:
+//
+//   - geometry is intact (depth rows of width cells, per-row hash
+//     parameters present);
+//   - row monotonicity for plain (non-conservative) sketches: every
+//     row carries at least the summarized weight n, and all rows
+//     carry the same total — each update adds exactly w to every row,
+//     which is what makes the sketch a linear (trivially mergeable)
+//     function of the frequency vector. Conservative updates are
+//     deliberately sub-linear, so only the ≥-n half applies... and
+//     clamped removes only ever reduce a row below its siblings when
+//     the caller removed more than was present, which Remove
+//     documents as unsupported.
+func debugAssert(s *Sketch) {
+	if len(s.rows) != s.depth || len(s.a) != s.depth || len(s.b) != s.depth {
+		panic(fmt.Sprintf("countmin: sanitize: geometry broken: %d rows for depth %d", len(s.rows), s.depth))
+	}
+	var first uint64
+	for i, row := range s.rows {
+		if len(row) != s.width {
+			panic(fmt.Sprintf("countmin: sanitize: row %d has %d cells, want width %d", i, len(row), s.width))
+		}
+		var sum uint64
+		for _, c := range row {
+			sum += c
+		}
+		if !s.conservative {
+			if sum < s.n {
+				panic(fmt.Sprintf("countmin: sanitize: row %d mass %d below n=%d (lost weight)", i, sum, s.n))
+			}
+			if i == 0 {
+				first = sum
+			} else if sum != first {
+				panic(fmt.Sprintf("countmin: sanitize: row %d mass %d differs from row 0 mass %d (linearity broken)", i, sum, first))
+			}
+		}
+	}
+}
+
+// debugAssertSampled runs the O(width·depth) debugAssert on a
+// deterministic sample of calls (keyed on n), keeping per-item paths
+// usable under the sanitize tag.
+func debugAssertSampled(s *Sketch) {
+	if s.n&1023 == 0 {
+		debugAssert(s)
+	}
+}

@@ -99,6 +99,8 @@ func (s *Sketch) Update(x core.Item, w uint64) {
 // walks the matrix row-major with the row's bucket and sign hash
 // parameters held in registers, amortizing per-item loads and bounds
 // checks.
+//
+//sketch:hotpath
 func (s *Sketch) UpdateBatch(xs []core.Item) {
 	if len(xs) == 0 {
 		return
@@ -121,6 +123,8 @@ func (s *Sketch) UpdateBatch(xs []core.Item) {
 
 // UpdateBatchWeighted adds Count occurrences of every Item in ws, the
 // weighted variant of UpdateBatch. All weights must be >= 1.
+//
+//sketch:hotpath
 func (s *Sketch) UpdateBatchWeighted(ws []core.Counter) {
 	if len(ws) == 0 {
 		return

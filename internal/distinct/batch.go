@@ -8,18 +8,23 @@ import (
 
 // UpdateBatch observes one occurrence of every item in xs. The state
 // is identical to calling Update(x) for each x in order.
+//
+//sketch:hotpath
 func (s *KMV) UpdateBatch(xs []core.Item) {
 	seed := s.seed
 	for _, x := range xs {
 		s.offer(hash64(seed, x))
 	}
 	s.n += uint64(len(xs))
+	debugAssertKMV(s)
 }
 
 // UpdateBatch observes one occurrence of every item in xs. The state
 // is identical to calling Update(x) for each x: the batch path inlines
 // the hash and leading-zero computation with the precision and
 // register slice held in registers.
+//
+//sketch:hotpath
 func (s *HLL) UpdateBatch(xs []core.Item) {
 	p := uint(s.p)
 	seed := s.seed
@@ -34,4 +39,5 @@ func (s *HLL) UpdateBatch(xs []core.Item) {
 		}
 	}
 	s.n += uint64(len(xs))
+	debugAssertHLL(s)
 }

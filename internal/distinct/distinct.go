@@ -118,6 +118,7 @@ func (s *KMV) offer(h uint64) {
 func (s *KMV) Update(x core.Item) {
 	s.n++
 	s.offer(hash64(s.seed, x))
+	debugAssertKMVSampled(s)
 }
 
 // Estimate returns the estimated number of distinct items.
@@ -151,6 +152,7 @@ func (s *KMV) Merge(other *KMV) error {
 	for _, h := range other.hashes {
 		s.offer(h)
 	}
+	debugAssertKMV(s)
 	return nil
 }
 
@@ -271,6 +273,7 @@ func (s *HLL) Update(x core.Item) {
 	if rho > s.regs[idx] {
 		s.regs[idx] = rho
 	}
+	debugAssertHLLSampled(s)
 }
 
 // Estimate returns the estimated number of distinct items, with the
@@ -311,6 +314,7 @@ func (s *HLL) Merge(other *HLL) error {
 			s.regs[i] = r
 		}
 	}
+	debugAssertHLL(s)
 	return nil
 }
 

@@ -1,0 +1,63 @@
+//go:build sanitize
+
+package distinct
+
+import "fmt"
+
+// sanitizeEnabled reports whether this build carries the runtime
+// invariant layer (`go test -tags sanitize`). See DESIGN.md.
+const sanitizeEnabled = true
+
+// debugAssertKMV panics if s violates the k-minimum-values structural
+// invariants: at most k stored hashes, max-heap order (every child ≤
+// its parent, so the root is the k-th minimum), and an exact
+// membership map (no duplicates counted, no stale entries).
+func debugAssertKMV(s *KMV) {
+	if len(s.hashes) > s.k {
+		panic(fmt.Sprintf("distinct: sanitize: KMV holds %d hashes, cap k=%d", len(s.hashes), s.k))
+	}
+	for i := 1; i < len(s.hashes); i++ {
+		parent := (i - 1) / 2
+		if s.hashes[i] > s.hashes[parent] {
+			panic(fmt.Sprintf("distinct: sanitize: KMV heap order broken at %d", i))
+		}
+	}
+	if len(s.member) != len(s.hashes) {
+		panic(fmt.Sprintf("distinct: sanitize: KMV member map has %d entries for %d hashes", len(s.member), len(s.hashes)))
+	}
+	for _, h := range s.hashes {
+		if !s.member[h] {
+			panic(fmt.Sprintf("distinct: sanitize: KMV hash %#x missing from member map", h))
+		}
+	}
+}
+
+// debugAssertHLL panics if s violates the HyperLogLog structural
+// invariants: exactly 2^p registers, each holding a rho value no
+// larger than a 64-bit hash allows (64−p leading-zero bits plus one).
+func debugAssertHLL(s *HLL) {
+	if len(s.regs) != 1<<s.p {
+		panic(fmt.Sprintf("distinct: sanitize: HLL has %d registers, want 2^%d", len(s.regs), s.p))
+	}
+	max := uint8(64-s.p) + 1
+	for i, r := range s.regs {
+		if r > max {
+			panic(fmt.Sprintf("distinct: sanitize: HLL register %d holds rho=%d, max %d", i, r, max))
+		}
+	}
+}
+
+// debugAssertKMVSampled samples the O(k) KMV check 1-in-64 (keyed on
+// n) so per-item ingestion stays usable under the sanitize tag.
+func debugAssertKMVSampled(s *KMV) {
+	if s.n&63 == 0 {
+		debugAssertKMV(s)
+	}
+}
+
+// debugAssertHLLSampled samples the O(2^p) HLL check (keyed on n).
+func debugAssertHLLSampled(s *HLL) {
+	if s.n&1023 == 0 {
+		debugAssertHLL(s)
+	}
+}

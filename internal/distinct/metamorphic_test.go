@@ -1,0 +1,86 @@
+package distinct
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mergetree"
+)
+
+// Property: KMV is a deterministic function of the observed set, so
+// every merge topology must reproduce the single-pass summary's hash
+// set exactly — merge order cannot even perturb the estimate.
+func TestMetamorphicKMVDeterministic(t *testing.T) {
+	f := func(vals []uint16, partsRaw uint8) bool {
+		nParts := int(partsRaw%6) + 2
+		parts := make([]*KMV, nParts)
+		for i := range parts {
+			parts[i] = NewKMV(16, 9)
+		}
+		ref := NewKMV(16, 9)
+		for i, v := range vals {
+			parts[i%nParts].Update(core.Item(v))
+			ref.Update(core.Item(v))
+		}
+		err := mergetree.Metamorphic(parts, (*KMV).Clone,
+			func(dst, src *KMV) error { return dst.Merge(src) },
+			func(topology string, m *KMV) error {
+				got, want := m.Hashes(), ref.Hashes()
+				if len(got) != len(want) {
+					return fmt.Errorf("%d hashes, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return fmt.Errorf("hash %d differs from single-pass summary", i)
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HLL's register state is a deterministic function of the
+// observed set (register-wise max), so every merge topology must
+// reproduce the single-pass registers exactly.
+func TestMetamorphicHLLDeterministic(t *testing.T) {
+	f := func(vals []uint16, partsRaw uint8) bool {
+		nParts := int(partsRaw%6) + 2
+		parts := make([]*HLL, nParts)
+		for i := range parts {
+			parts[i] = NewHLL(8, 3)
+		}
+		ref := NewHLL(8, 3)
+		for i, v := range vals {
+			parts[i%nParts].Update(core.Item(v))
+			ref.Update(core.Item(v))
+		}
+		err := mergetree.Metamorphic(parts, (*HLL).Clone,
+			func(dst, src *HLL) error { return dst.Merge(src) },
+			func(topology string, m *HLL) error {
+				for i, r := range m.regs {
+					if r != ref.regs[i] {
+						return fmt.Errorf("register %d = %d differs from single-pass %d", i, r, ref.regs[i])
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -8,6 +8,19 @@
 // The target paper has no empirical section, so these generators stand
 // in for the proprietary traces this literature usually evaluates on
 // (see DESIGN.md §2); every generator is seeded and bit-reproducible.
+//
+// # Determinism contract
+//
+// Every randomized entry point in this package takes its seed as an
+// explicit uint64 parameter and produces a byte-identical stream for a
+// given (seed, parameters) pair — across runs, platforms, and Go
+// releases. Nothing in this package reads math/rand's global state,
+// time, or any other ambient source, and nothing else in this module
+// may: this package is the module's only sanctioned randomness source,
+// a boundary enforced by the detrand analyzer in cmd/sketchlint.
+// Callers that need independent streams derive them by passing
+// distinct seeds, never by sharing an RNG across goroutines (RNG is
+// not safe for concurrent use).
 package gen
 
 import "math"
@@ -19,7 +32,12 @@ type RNG struct {
 	state uint64
 }
 
-// NewRNG returns a generator seeded with seed.
+// NewRNG returns a generator seeded with seed. Equal seeds yield
+// identical output sequences forever — the seed is the generator's
+// complete state, so experiments record it and nothing more. There is
+// deliberately no time- or entropy-seeded constructor; callers wanting
+// "fresh" randomness must surface a seed parameter to their own caller
+// instead (see the package determinism contract).
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
 // Uint64 returns the next pseudo-random 64-bit value.

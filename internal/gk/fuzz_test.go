@@ -24,3 +24,46 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMergeRoundTrip builds two same-eps summaries from the fuzzed
+// byte streams, merges them, and checks the result keeps the GK
+// invariant g+delta <= 2εn and survives a codec round-trip unchanged.
+func FuzzMergeRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200}, []byte{5})
+	f.Add([]byte{}, []byte{0, 0, 255})
+	f.Fuzz(func(t *testing.T, ra, rb []byte) {
+		a, b := New(0.1), New(0.1)
+		for _, v := range ra {
+			a.Update(float64(v))
+		}
+		for _, v := range rb {
+			b.Update(float64(v))
+		}
+		n := a.N() + b.N()
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("merge of same-eps summaries failed: %v", err)
+		}
+		if a.N() != n {
+			t.Fatalf("merged n=%d, want %d", a.N(), n)
+		}
+		if err := a.checkInvariants(); err != nil {
+			t.Fatalf("merged summary violates GK invariant: %v", err)
+		}
+		data, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Summary
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("round-trip rejected own frame: %v", err)
+		}
+		if got.N() != a.N() {
+			t.Fatalf("round-trip changed n: %d -> %d", a.N(), got.N())
+		}
+		for _, v := range []float64{0, 100, 255} {
+			if got.Rank(v) != a.Rank(v) {
+				t.Fatalf("round-trip changed Rank(%v)", v)
+			}
+		}
+	})
+}

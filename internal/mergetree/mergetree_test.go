@@ -3,6 +3,7 @@ package mergetree
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -205,4 +206,25 @@ func ExampleSequential() {
 	total, _ := Sequential(parts, mergeBoxes)
 	fmt.Println(total.n)
 	// Output: 60
+}
+
+// Parallel must return the first merge error and stop claiming new
+// work: a worker that observes the recorded error exits before
+// starting another merge, so the number of merge calls is bounded by
+// the worker count — not by the partition count.
+func TestParallelPropagatesFirstError(t *testing.T) {
+	sentinel := errors.New("incompatible parts")
+	const workers = 4
+	parts := boxes(make([]uint64, 4*workers)...)
+	var calls atomic.Int64
+	_, err := Parallel(parts, workers, func(dst, src *counterBox) error {
+		calls.Add(1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err=%v, want the first merge error", err)
+	}
+	if got := calls.Load(); got > workers {
+		t.Fatalf("%d merge calls after the first error, want <= %d (one in flight per worker)", got, workers)
+	}
 }

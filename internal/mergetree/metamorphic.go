@@ -1,0 +1,43 @@
+package mergetree
+
+import "fmt"
+
+// Topologies names the fold orders Metamorphic exercises.
+var Topologies = []string{"sequential", "binary", "random", "parallel"}
+
+// Metamorphic is the mergeability definition's universal quantifier as
+// a test helper: it folds independent clones of parts under every
+// merge topology (sequential, balanced binary, seeded random, and
+// concurrent) and hands each result to check. A summary family is
+// mergeable exactly when check passes for all of them — the guarantee
+// may not depend on the merge order.
+//
+// parts are never consumed; each fold runs on fresh clones. check
+// receives the topology name for error reporting and must return an
+// error when the merged summary violates the family's guarantee.
+func Metamorphic[S any](parts []S, clone func(S) S, merge MergeFunc[S], check func(topology string, merged S) error) error {
+	folds := map[string]func([]S, MergeFunc[S]) (S, error){
+		"sequential": Sequential[S],
+		"binary":     Binary[S],
+		"random": func(ps []S, m MergeFunc[S]) (S, error) {
+			return Random(ps, 0x5eed_c0ffee, m)
+		},
+		"parallel": func(ps []S, m MergeFunc[S]) (S, error) {
+			return Parallel(ps, 4, m)
+		},
+	}
+	for _, name := range Topologies {
+		clones := make([]S, len(parts))
+		for i, p := range parts {
+			clones[i] = clone(p)
+		}
+		merged, err := folds[name](clones, merge)
+		if err != nil {
+			return fmt.Errorf("mergetree: %s fold failed: %w", name, err)
+		}
+		if err := check(name, merged); err != nil {
+			return fmt.Errorf("mergetree: %s merge order violates guarantee: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -24,6 +24,8 @@ func pruneSlack(k int) int {
 // most ErrorBound() ≤ n/(k+1). The summary state may differ from the
 // per-item loop's because pruning is deferred across the batch (see
 // pruneSlack).
+//
+//sketch:hotpath
 func (s *Summary) UpdateBatch(xs []core.Item) {
 	if len(xs) == 0 {
 		return
@@ -39,10 +41,13 @@ func (s *Summary) UpdateBatch(xs []core.Item) {
 	if len(s.counters) > s.k {
 		s.prune()
 	}
+	debugAssert(s)
 }
 
 // UpdateBatchWeighted adds Count occurrences of every Item in ws, the
 // weighted variant of UpdateBatch. All weights must be >= 1.
+//
+//sketch:hotpath
 func (s *Summary) UpdateBatchWeighted(ws []core.Counter) {
 	if len(ws) == 0 {
 		return
@@ -63,4 +68,5 @@ func (s *Summary) UpdateBatchWeighted(ws []core.Counter) {
 	if len(s.counters) > s.k {
 		s.prune()
 	}
+	debugAssert(s)
 }

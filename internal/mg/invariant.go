@@ -1,0 +1,54 @@
+//go:build sanitize
+
+package mg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// sanitizeEnabled reports whether this build carries the runtime
+// invariant layer (`go test -tags sanitize`). See DESIGN.md.
+const sanitizeEnabled = true
+
+// debugAssert panics if s violates the Misra–Gries structural
+// invariants the PODS'12 mergeability proof rests on:
+//
+//   - at most k counters are monitored;
+//   - every monitored count is positive;
+//   - the monitored mass never exceeds the summarized weight n
+//     (MG never overestimates);
+//   - the undercount certificate dec never exceeds n/(k+1)
+//     (Theorem 2.2's error bound, preserved by every merge order).
+//
+// It must be called only at points where the summary is quiescent —
+// after an update, merge, or batch completes — not mid-batch, where
+// deferred pruning intentionally lets the map overshoot k.
+func debugAssert(s *Summary) {
+	if len(s.counters) > s.k {
+		panic(fmt.Sprintf("mg: sanitize: %d counters exceed k=%d", len(s.counters), s.k))
+	}
+	var sum uint64
+	for x, v := range s.counters {
+		if v == 0 {
+			panic(fmt.Sprintf("mg: sanitize: zero count for item %d", x))
+		}
+		sum += v
+	}
+	if sum > s.n {
+		panic(fmt.Sprintf("mg: sanitize: monitored mass %d exceeds n=%d (overestimation)", sum, s.n))
+	}
+	if bound := core.MGBound(s.n, s.k); s.dec > bound {
+		panic(fmt.Sprintf("mg: sanitize: dec=%d exceeds n/(k+1)=%d (n=%d, k=%d)", s.dec, bound, s.n, s.k))
+	}
+}
+
+// debugAssertSampled runs debugAssert on a deterministic 1-in-64
+// sample of calls (keyed on n), keeping per-item paths usable under
+// the sanitize tag on large test streams.
+func debugAssertSampled(s *Summary) {
+	if s.n&63 == 0 {
+		debugAssert(s)
+	}
+}

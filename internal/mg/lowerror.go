@@ -42,6 +42,7 @@ func (s *Summary) MergeLowError(other *Summary) error {
 		for _, cc := range combined {
 			s.counters[cc.Item] = cc.Count
 		}
+		debugAssert(s)
 		return nil
 	}
 	// Pad at the front with zero counters to exactly 2c slots.
@@ -66,6 +67,7 @@ func (s *Summary) MergeLowError(other *Summary) error {
 	// combined counts (j=1 loses C_c; j>=2 loses C_c − C_{j−1} ≤ C_c),
 	// and every dropped item had combined count ≤ C_c.
 	s.dec += base
+	debugAssert(s)
 	return nil
 }
 

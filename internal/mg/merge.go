@@ -24,6 +24,7 @@ func (s *Summary) Merge(other *Summary) error {
 	s.n += other.n
 	s.dec += other.dec
 	s.prune()
+	debugAssert(s)
 	return nil
 }
 

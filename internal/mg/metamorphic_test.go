@@ -1,0 +1,62 @@
+package mg
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/mergetree"
+)
+
+// Property: the stream guarantee is independent of merge order. The
+// same partitioned stream folded sequentially, as a binary tree, in
+// random order, and concurrently must yield a summary within the
+// single-stream bound — the PODS'12 mergeability definition itself.
+func TestMetamorphicMergeOrder(t *testing.T) {
+	f := func(raw []byte, kRaw, partsRaw uint8, lowError bool) bool {
+		k := int(kRaw%8) + 2
+		nParts := int(partsRaw%6) + 2
+		parts := make([]*Summary, nParts)
+		for i := range parts {
+			parts[i] = New(k)
+		}
+		truth := exact.NewFreqTable()
+		for i, u := range buildStream(raw) {
+			parts[i%nParts].Update(u.Item, u.Count)
+			truth.Add(u.Item, u.Count)
+		}
+		merge := func(dst, src *Summary) error { return dst.Merge(src) }
+		if lowError {
+			merge = func(dst, src *Summary) error { return dst.MergeLowError(src) }
+		}
+		err := mergetree.Metamorphic(parts, (*Summary).Clone, merge,
+			func(topology string, m *Summary) error {
+				if m.N() != truth.N() {
+					return fmt.Errorf("n=%d, want %d", m.N(), truth.N())
+				}
+				if m.Len() > k {
+					return fmt.Errorf("%d counters exceed k=%d", m.Len(), k)
+				}
+				if bound := core.MGBound(m.N(), k); m.ErrorBound() > bound {
+					return fmt.Errorf("error bound %d exceeds n/(k+1)=%d", m.ErrorBound(), bound)
+				}
+				for _, c := range truth.Counters() {
+					e := m.Estimate(c.Item)
+					if e.Value > c.Count || !e.Contains(c.Count) {
+						return fmt.Errorf("estimate %v misses truth %d for item %d", e, c.Count, c.Item)
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -115,6 +115,7 @@ func (s *Summary) Update(x core.Item, w uint64) {
 	if len(s.counters) > s.k {
 		s.prune()
 	}
+	debugAssertSampled(s)
 }
 
 // prune restores len(counters) <= k by subtracting the (k+1)-th largest

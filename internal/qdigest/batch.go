@@ -5,6 +5,8 @@ package qdigest
 // Update(v, 1) for each v in order: the amortized compression triggers
 // at exactly the same points, but the leaf base and clamp bound are
 // hoisted out of the loop.
+//
+//sketch:hotpath
 func (d *Digest) UpdateBatch(vs []uint64) {
 	max := (uint64(1) << d.logU) - 1
 	leafBase := uint64(1) << d.logU
@@ -19,11 +21,14 @@ func (d *Digest) UpdateBatch(vs []uint64) {
 			d.Compress()
 		}
 	}
+	debugAssertSampled(d)
 }
 
 // UpdateBatchWeighted adds Count occurrences of every value in vs,
 // where each element pairs a universe value with its weight. All
 // weights must be >= 1.
+//
+//sketch:hotpath
 func (d *Digest) UpdateBatchWeighted(vs []WeightedValue) {
 	max := (uint64(1) << d.logU) - 1
 	leafBase := uint64(1) << d.logU
@@ -42,6 +47,7 @@ func (d *Digest) UpdateBatchWeighted(vs []WeightedValue) {
 			d.Compress()
 		}
 	}
+	debugAssertSampled(d)
 }
 
 // WeightedValue pairs a universe value with an update weight for

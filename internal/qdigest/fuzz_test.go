@@ -25,3 +25,46 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMergeRoundTrip builds two compatible digests from the fuzzed
+// byte streams, merges them, and checks the result keeps the q-digest
+// property and survives a codec round-trip unchanged.
+func FuzzMergeRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200}, []byte{5})
+	f.Add([]byte{}, []byte{0, 0, 255})
+	f.Fuzz(func(t *testing.T, ra, rb []byte) {
+		a, b := New(8, 5), New(8, 5)
+		for _, v := range ra {
+			a.Update(uint64(v), 1)
+		}
+		for _, v := range rb {
+			b.Update(uint64(v), 1)
+		}
+		n := a.N() + b.N()
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("merge of compatible digests failed: %v", err)
+		}
+		if a.N() != n {
+			t.Fatalf("merged n=%d, want %d", a.N(), n)
+		}
+		if err := a.checkInvariants(); err != nil {
+			t.Fatalf("merged digest violates q-digest property: %v", err)
+		}
+		data, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Digest
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("round-trip rejected own frame: %v", err)
+		}
+		if got.N() != a.N() || got.Size() != a.Size() {
+			t.Fatalf("round-trip changed digest: n %d->%d, size %d->%d", a.N(), got.N(), a.Size(), got.Size())
+		}
+		for _, q := range []uint64{0, 100, 255} {
+			if got.Rank(q) != a.Rank(q) {
+				t.Fatalf("round-trip changed Rank(%d)", q)
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package qdigest
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mergetree"
+)
+
+// Property: the rank envelope is independent of merge order — every
+// topology's fold of the same partitioned stream stays within the
+// merged digest's own error bound against the exact ranks.
+func TestMetamorphicRankBound(t *testing.T) {
+	f := func(raw []byte, kRaw, partsRaw uint8) bool {
+		k := uint64(kRaw%32) + 1
+		const logU = 8
+		nParts := int(partsRaw%6) + 2
+		parts := make([]*Digest, nParts)
+		for i := range parts {
+			parts[i] = New(logU, k)
+		}
+		counts := make(map[uint64]uint64)
+		var n uint64
+		for i, bv := range raw {
+			v := uint64(bv)
+			parts[i%nParts].Update(v, 1)
+			counts[v]++
+			n++
+		}
+		err := mergetree.Metamorphic(parts, (*Digest).Clone,
+			func(dst, src *Digest) error { return dst.Merge(src) },
+			func(topology string, m *Digest) error {
+				if m.N() != n {
+					return fmt.Errorf("n=%d, want %d", m.N(), n)
+				}
+				if err := m.checkInvariants(); err != nil {
+					return err
+				}
+				bound := m.ErrorBound()
+				for _, q := range []uint64{0, 31, 127, 255} {
+					var truth uint64
+					for v, c := range counts {
+						if v <= q {
+							truth += c
+						}
+					}
+					got := m.Rank(q)
+					if got > truth {
+						return fmt.Errorf("rank(%d)=%d overestimates truth %d", q, got, truth)
+					}
+					if truth-got > bound {
+						return fmt.Errorf("rank(%d)=%d undershoots truth %d beyond bound %d", q, got, truth, bound)
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

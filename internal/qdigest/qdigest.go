@@ -125,6 +125,7 @@ func (d *Digest) Update(v uint64, w uint64) {
 	if d.dirty > uint64(len(d.counts))+16 {
 		d.Compress()
 	}
+	debugAssertSampled(d)
 }
 
 // Compress restores the q-digest property, merging under-full sibling
@@ -237,6 +238,7 @@ func (d *Digest) Merge(other *Digest) error {
 	}
 	d.n += other.n
 	d.Compress()
+	debugAssert(d)
 	return nil
 }
 

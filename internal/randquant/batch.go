@@ -7,6 +7,8 @@ import "math"
 // buffer fills in bulk copies and level-0 promotions trigger at
 // exactly the same points, consuming the same RNG draws. NaN values
 // panic, as in Update.
+//
+//sketch:hotpath
 func (s *Summary) UpdateBatch(vs []float64) {
 	for _, v := range vs {
 		if math.IsNaN(v) {
@@ -34,6 +36,8 @@ func (s *Summary) UpdateBatch(vs []float64) {
 // UpdateBatch inserts every value in vs, identically to calling
 // Update(v) for each v in order (the same acceptance draws are
 // consumed in the same order).
+//
+//sketch:hotpath
 func (h *Hybrid) UpdateBatch(vs []float64) {
 	for _, v := range vs {
 		if math.IsNaN(v) {

@@ -8,6 +8,8 @@ import (
 // UpdateBatch observes every value in vs. The resulting state is
 // identical to calling Update(v) for each v in order (the same tag
 // draws are consumed in the same order).
+//
+//sketch:hotpath
 func (s *BottomK) UpdateBatch(vs []float64) {
 	for _, v := range vs {
 		if math.IsNaN(v) {

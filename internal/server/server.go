@@ -115,9 +115,9 @@ func kindOps() map[string]ops {
 // slot is one named aggregation target.
 type slot struct {
 	mu      sync.Mutex
-	kind    string
-	summary any
-	pushes  uint64
+	kind    string // guarded by mu
+	summary any    // guarded by mu
+	pushes  uint64 // guarded by mu
 }
 
 // Server is the aggregation daemon. Use New and Serve.
@@ -125,7 +125,7 @@ type Server struct {
 	kinds map[string]ops
 
 	mu    sync.Mutex
-	slots map[string]*slot
+	slots map[string]*slot // guarded by mu
 
 	ln     net.Listener
 	wg     sync.WaitGroup

@@ -15,15 +15,21 @@ import (
 // Sharded fans updates out over p summaries of type S. All methods are
 // safe for concurrent use.
 type Sharded[S any] struct {
-	mus    []sync.Mutex
+	mus []sync.Mutex
+	// shards[i] may only be touched while holding mus[i]; the slice
+	// header itself is immutable after New. guarded by mus
 	shards []S
 	// parts pools per-shard index buffers for UpdateBatch so steady-
-	// state batch ingestion allocates nothing.
+	// state batch ingestion allocates nothing. sync.Pool synchronizes
+	// internally.
 	parts sync.Pool
 }
 
 // New returns a Sharded with p shards built by mk (called once per
-// shard index).
+// shard index). The receiver is unpublished until New returns, so no
+// locks are needed while filling the shards.
+//
+//sketch:locked
 func New[S any](p int, mk func(shard int) S) *Sharded[S] {
 	if p < 1 {
 		panic("shard: need at least one shard")
@@ -69,6 +75,8 @@ func (s *Sharded[S]) UpdateAny(token uint64, f func(S)) {
 // The partition buffers are pooled, so steady-state batches allocate
 // nothing beyond what apply does. The idxs slice passed to apply is
 // only valid during the call.
+//
+//sketch:hotpath
 func (s *Sharded[S]) UpdateBatch(n int, key func(i int) uint64, apply func(shard S, idxs []int)) {
 	if n <= 0 {
 		return

@@ -6,14 +6,19 @@ import "repro/internal/core"
 // state is identical to calling Update(x, 1) for each x in order — the
 // stream-summary structure is already O(1) per unit update, so the
 // batch path's win is amortizing call and validation overhead.
+//
+//sketch:hotpath
 func (s *Summary) UpdateBatch(xs []core.Item) {
 	for _, x := range xs {
 		s.update(x, 1)
 	}
+	debugAssert(s)
 }
 
 // UpdateBatchWeighted adds Count occurrences of every Item in ws, the
 // weighted variant of UpdateBatch. All weights must be >= 1.
+//
+//sketch:hotpath
 func (s *Summary) UpdateBatchWeighted(ws []core.Counter) {
 	for _, c := range ws {
 		if c.Count == 0 {
@@ -23,4 +28,5 @@ func (s *Summary) UpdateBatchWeighted(ws []core.Counter) {
 	for _, c := range ws {
 		s.update(c.Item, c.Count)
 	}
+	debugAssert(s)
 }

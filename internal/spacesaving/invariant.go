@@ -1,0 +1,31 @@
+//go:build sanitize
+
+package spacesaving
+
+// sanitizeEnabled reports whether this build carries the runtime
+// invariant layer (`go test -tags sanitize`). See DESIGN.md.
+const sanitizeEnabled = true
+
+// debugAssert panics if s violates the stream-summary structural
+// invariants the O(1) update path and the SS↔MG isomorphism rely on:
+// at most k monitored entries, a strictly ascending doubly-linked
+// bucket list bracketed by minB/maxB, every entry in the bucket
+// matching its count, and an entries map in exact bijection with the
+// bucket lists. The walk itself is checkInvariants (shared with the
+// unit tests); the sanitize layer turns its error into a panic so
+// violations surface at the faulting Update/Merge, not at the next
+// query.
+func debugAssert(s *Summary) {
+	if err := s.checkInvariants(); err != nil {
+		panic("spacesaving: sanitize: " + err.Error())
+	}
+}
+
+// debugAssertSampled runs debugAssert on a deterministic 1-in-64
+// sample of calls (keyed on n), keeping the O(1) per-item path usable
+// under the sanitize tag.
+func debugAssertSampled(s *Summary) {
+	if s.n&63 == 0 {
+		debugAssert(s)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !sanitize
+
+package spacesaving
+
+// sanitizeEnabled reports whether this build carries the runtime
+// invariant layer; see invariant.go (build tag sanitize).
+const sanitizeEnabled = false
+
+// debugAssert is a no-op unless built with -tags sanitize.
+func debugAssert(*Summary) {}
+
+// debugAssertSampled is a no-op unless built with -tags sanitize.
+func debugAssertSampled(*Summary) {}

@@ -91,6 +91,7 @@ func (s *Summary) Merge(other *Summary) error {
 		combined = combined[:0]
 	}
 	s.rebuild(combined)
+	debugAssert(s)
 	return nil
 }
 
@@ -133,6 +134,7 @@ func (s *Summary) MergeLowError(other *Summary) error {
 
 	if len(combined) < k {
 		s.rebuild(combined)
+		debugAssert(s)
 		return nil
 	}
 	// Pad at the front with zero counters to exactly 2k−2 slots.
@@ -154,6 +156,7 @@ func (s *Summary) MergeLowError(other *Summary) error {
 	}
 	sortStates(out)
 	s.rebuild(out)
+	debugAssert(s)
 	return nil
 }
 

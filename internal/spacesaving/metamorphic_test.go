@@ -1,0 +1,59 @@
+package spacesaving
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/mergetree"
+)
+
+// Property: the interval guarantee is independent of merge order, for
+// both the PODS'12 merge and the low-total-error variant — the
+// mergeability definition's universal quantifier over topologies.
+func TestMetamorphicMergeOrder(t *testing.T) {
+	f := func(raw []byte, kRaw, partsRaw uint8, lowError bool) bool {
+		k := int(kRaw%8) + 2
+		nParts := int(partsRaw%6) + 2
+		parts := make([]*Summary, nParts)
+		for i := range parts {
+			parts[i] = New(k)
+		}
+		truth := exact.NewFreqTable()
+		for i, u := range buildStream(raw) {
+			parts[i%nParts].Update(u.Item, u.Count)
+			truth.Add(u.Item, u.Count)
+		}
+		merge := func(dst, src *Summary) error { return dst.Merge(src) }
+		if lowError {
+			merge = func(dst, src *Summary) error { return dst.MergeLowError(src) }
+		}
+		err := mergetree.Metamorphic(parts, (*Summary).Clone, merge,
+			func(topology string, m *Summary) error {
+				if m.N() != truth.N() {
+					return fmt.Errorf("n=%d, want %d", m.N(), truth.N())
+				}
+				if m.Len() > k {
+					return fmt.Errorf("%d entries exceed k=%d", m.Len(), k)
+				}
+				if err := m.checkInvariants(); err != nil {
+					return err
+				}
+				for _, c := range truth.Counters() {
+					if e := m.Estimate(c.Item); !e.Contains(c.Count) {
+						return fmt.Errorf("estimate %v misses truth %d for item %d", e, c.Count, c.Item)
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -110,6 +110,7 @@ func (s *Summary) Update(x core.Item, w uint64) {
 		panic("spacesaving: zero-weight update")
 	}
 	s.update(x, w)
+	debugAssertSampled(s)
 }
 
 // update is Update without the zero-weight check, shared with the

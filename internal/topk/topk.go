@@ -84,6 +84,8 @@ func (t *Tracker) Update(x core.Item, w uint64) {
 
 // UpdateBatch adds one occurrence of every item in xs and refreshes
 // the directory, identically to calling Update(x, 1) for each x.
+//
+//sketch:hotpath
 func (t *Tracker) UpdateBatch(xs []core.Item) {
 	for _, x := range xs {
 		t.refresh(x, t.sketch.UpdateAndEstimate(x, 1))
@@ -92,6 +94,8 @@ func (t *Tracker) UpdateBatch(xs []core.Item) {
 
 // UpdateBatchWeighted adds Count occurrences of every Item in ws, the
 // weighted variant of UpdateBatch. All weights must be >= 1.
+//
+//sketch:hotpath
 func (t *Tracker) UpdateBatchWeighted(ws []core.Counter) {
 	for _, c := range ws {
 		t.refresh(c.Item, t.sketch.UpdateAndEstimate(c.Item, c.Count))
