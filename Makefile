@@ -13,9 +13,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check lint staticcheck govulncheck vet build test race sanitize bench-smoke bench-json fuzz clean
+.PHONY: check lint staticcheck govulncheck vet build test race sanitize bench-smoke bench-server bench-json fuzz clean
 
-check: vet build lint staticcheck govulncheck race sanitize bench-smoke
+check: vet build lint staticcheck govulncheck race sanitize bench-smoke bench-server
 
 # Project-specific analyzers (mergecompat, locksafe, hotpathalloc,
 # detrand); any diagnostic fails the build. Linting runs with the
@@ -59,8 +59,15 @@ sanitize:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Update -benchtime=100x .
 
+# Compile-and-run smoke over the server merge-plane benchmarks (push,
+# batched push, cached and re-encode pull); one iteration each keeps it
+# a liveness check, not a measurement.
+bench-server:
+	$(GO) test -run='^$$' -bench=Server -benchtime=1x ./internal/server/
+
 # Full measurement: regenerates results/bench.json (per-item vs batch
-# ns/op, allocs/op and speedups for every summary family).
+# ns/op for every family, server push/pull/merge throughput at 1-16
+# clients, and mergetree.Parallel worker scaling).
 bench-json:
 	$(GO) run ./cmd/bench -out results/bench.json
 

@@ -1,13 +1,19 @@
 // Command bench measures the per-item and batched ingestion paths of
-// every summary family and records the results as JSON, so the batch
-// speedup trajectory can be tracked across commits.
+// every summary family, the aggregation server's push/pull/merge
+// throughput at 1–16 clients, and mergetree.Parallel's worker scaling,
+// recording everything as JSON so the trajectories can be tracked
+// across commits.
 //
 // Usage:
 //
-//	go run ./cmd/bench -out results/bench.json [-benchtime 1s]
+//	go run ./cmd/bench -out results/bench.json [-benchtime 1s] [-serverdur 300ms]
 //
 // ns/op is per ingested item on both paths (batch benchmarks advance
 // b.N by the batch length per call), so speedup = per_item / batch.
+// Server points are whole-system ops/s measured over -serverdur of
+// wall time per (op, client-count) pair; the PULL series is measured
+// twice, with the epoch snapshot cache on and off, and their ratio is
+// the headline pull_cache_speedup.
 package main
 
 import (
@@ -17,11 +23,18 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	mergesum "repro"
+	"repro/internal/countmin"
 	"repro/internal/gen"
+	"repro/internal/mergetree"
+	"repro/internal/mg"
+	"repro/internal/qdigest"
+	"repro/internal/server"
 	"repro/internal/shard"
 )
 
@@ -44,15 +57,46 @@ type familyResult struct {
 	Speedup float64    `json:"speedup"`
 }
 
+// serverPoint is one (client count, throughput) measurement.
+type serverPoint struct {
+	Clients   int     `json:"clients"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// serverSeries is one server operation measured across client counts.
+type serverSeries struct {
+	Op     string        `json:"op"`
+	Points []serverPoint `json:"points"`
+}
+
+// serverReport aggregates the server-path series. PullCacheSpeedup is
+// cached-pull throughput over re-encode-pull throughput at the largest
+// client count — the epoch snapshot cache's headline win.
+type serverReport struct {
+	DurPerPoint      string         `json:"dur_per_point"`
+	Series           []serverSeries `json:"series"`
+	PullCacheSpeedup float64        `json:"pull_cache_speedup"`
+}
+
+// mergeScalePoint is one mergetree.Parallel worker-count measurement
+// over a fixed partition set; Speedup is relative to workers=1.
+type mergeScalePoint struct {
+	Workers     int     `json:"workers"`
+	NsPerReduce float64 `json:"ns_per_reduce"`
+	Speedup     float64 `json:"speedup"`
+}
+
 type report struct {
-	Schema     int            `json:"schema"`
-	Go         string         `json:"go"`
-	GOOS       string         `json:"goos"`
-	GOARCH     string         `json:"goarch"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	BatchLen   int            `json:"batch_len"`
-	StreamLen  int            `json:"stream_len"`
-	Families   []familyResult `json:"families"`
+	Schema       int               `json:"schema"`
+	Go           string            `json:"go"`
+	GOOS         string            `json:"goos"`
+	GOARCH       string            `json:"goarch"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	BatchLen     int               `json:"batch_len"`
+	StreamLen    int               `json:"stream_len"`
+	Families     []familyResult    `json:"families"`
+	Server       *serverReport     `json:"server,omitempty"`
+	MergeScaling []mergeScalePoint `json:"merge_scaling,omitempty"`
 }
 
 func toPath(r testing.BenchmarkResult) pathResult {
@@ -183,9 +227,201 @@ func shardedHLL(p int, stream []mergesum.Item) workload {
 		func(s *mergesum.HLL, xs []mergesum.Item) { s.UpdateBatch(xs) })
 }
 
+// startServer boots an in-process aggregation server on an ephemeral
+// port; cache toggles the PULL snapshot cache.
+func startServer(cache bool) (string, func(), error) {
+	s := server.New()
+	s.SetSnapshotCache(cache)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	return addr, func() { s.Close(); <-done }, nil
+}
+
+// discard drops pulled frame bytes: the pull series measures the
+// server's encode/cache path, not client-side decoding.
+type discard struct{}
+
+func (discard) UnmarshalBinary([]byte) error { return nil }
+
+// measureServer runs clients connections against addr for roughly dur,
+// each looping op, and returns aggregate ops/s.
+func measureServer(addr string, clients int, dur time.Duration, op func(c *server.Client, id int) error) (float64, error) {
+	var (
+		ops      atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	start := time.Now()
+	timer := time.AfterFunc(dur, func() { stop.Store(true) })
+	defer timer.Stop()
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer c.Close()
+			for !stop.Load() {
+				if err := op(c, id); err != nil {
+					fail(err)
+					return
+				}
+				ops.Add(1)
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(ops.Load()) / elapsed, firstErr
+}
+
+// serverWorkloads measures push/s (independent slots), merge/s (all
+// clients contending on one slot) and pull/s with the snapshot cache
+// on and off, at each client count. Every point runs against a fresh
+// server so points are independent.
+func serverWorkloads(clientCounts []int, dur time.Duration) (*serverReport, error) {
+	pushSummary := mg.New(256)
+	for i, x := range gen.NewZipf(4096, 1.2, 5).Stream(1 << 12) {
+		pushSummary.Update(x, uint64(i%3+1))
+	}
+	// The pull slot holds a wide q-digest so re-encoding it is real
+	// work (the cache's whole point): every qdigest encode compresses
+	// and sorts the node map, which runs well past the loopback
+	// round-trip at this width.
+	pullSummary := qdigest.NewEpsilon(32, 0.01)
+	rng := gen.NewRNG(9)
+	for i := 0; i < 1<<18; i++ {
+		pullSummary.Update(rng.Uint64()>>32, 1)
+	}
+
+	type workload struct {
+		op    string
+		cache bool
+		seed  bool
+		run   func(c *server.Client, id int) error
+	}
+	workloads := []workload{
+		{op: "push", cache: true, run: func(c *server.Client, id int) error {
+			_, err := c.Push(fmt.Sprintf("ingest-%d", id), "mg", pushSummary)
+			return err
+		}},
+		{op: "merge", cache: true, run: func(c *server.Client, id int) error {
+			_, err := c.Push("merged", "mg", pushSummary)
+			return err
+		}},
+		{op: "pull_cached", cache: true, seed: true, run: func(c *server.Client, id int) error {
+			_, err := c.Pull("q", discard{})
+			return err
+		}},
+		{op: "pull_reencode", cache: false, seed: true, run: func(c *server.Client, id int) error {
+			_, err := c.Pull("q", discard{})
+			return err
+		}},
+	}
+
+	rep := &serverReport{DurPerPoint: dur.String()}
+	byOp := make(map[string][]serverPoint, len(workloads))
+	for _, wl := range workloads {
+		points := make([]serverPoint, 0, len(clientCounts))
+		for _, clients := range clientCounts {
+			addr, stopSrv, err := startServer(wl.cache)
+			if err != nil {
+				return nil, err
+			}
+			if wl.seed {
+				c, err := server.Dial(addr)
+				if err == nil {
+					_, err = c.Push("q", "qdigest", pullSummary)
+					c.Close()
+				}
+				if err != nil {
+					stopSrv()
+					return nil, err
+				}
+			}
+			opsPerSec, err := measureServer(addr, clients, dur, wl.run)
+			stopSrv()
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, serverPoint{Clients: clients, OpsPerSec: opsPerSec})
+			fmt.Printf("server/%-14s clients=%-2d  %10.0f ops/s\n", wl.op, clients, opsPerSec)
+		}
+		byOp[wl.op] = points
+		rep.Series = append(rep.Series, serverSeries{Op: wl.op, Points: points})
+	}
+	cached, reenc := byOp["pull_cached"], byOp["pull_reencode"]
+	if n := len(cached); n > 0 && n == len(reenc) && reenc[n-1].OpsPerSec > 0 {
+		rep.PullCacheSpeedup = cached[n-1].OpsPerSec / reenc[n-1].OpsPerSec
+	}
+	return rep, nil
+}
+
+// mergeScalingSeries times mergetree.Parallel over a fixed 128-part
+// Count-Min set (pure cell-wise CPU work) at each worker count,
+// cloning the parts outside the timed region because Parallel
+// consumes them.
+func mergeScalingSeries(workersList []int, reps int) ([]mergeScalePoint, error) {
+	const (
+		parts   = 128
+		perPart = 2048
+	)
+	stream := gen.NewZipf(1<<14, 1.1, 7).Stream(parts * perPart)
+	base := make([]*countmin.Sketch, parts)
+	for i := range base {
+		s := countmin.New(2048, 6, 42)
+		s.UpdateBatch(stream[i*perPart : (i+1)*perPart])
+		base[i] = s
+	}
+	merge := mergetree.MergeFunc[*countmin.Sketch](func(d, s *countmin.Sketch) error { return d.Merge(s) })
+	out := make([]mergeScalePoint, 0, len(workersList))
+	var baseNs float64
+	for _, workers := range workersList {
+		var total int64
+		for rep := 0; rep < reps; rep++ {
+			clones := make([]*countmin.Sketch, parts)
+			for i, s := range base {
+				clones[i] = s.Clone()
+			}
+			t0 := time.Now()
+			if _, err := mergetree.Parallel(clones, workers, merge); err != nil {
+				return nil, err
+			}
+			total += time.Since(t0).Nanoseconds()
+		}
+		pt := mergeScalePoint{Workers: workers, NsPerReduce: float64(total) / float64(reps)}
+		if baseNs == 0 {
+			baseNs = pt.NsPerReduce
+		}
+		pt.Speedup = baseNs / pt.NsPerReduce
+		out = append(out, pt)
+		fmt.Printf("mergetree/parallel  workers=%-2d  %12.0f ns/reduce  speedup %.2fx\n",
+			workers, pt.NsPerReduce, pt.Speedup)
+	}
+	return out, nil
+}
+
 func main() {
 	out := flag.String("out", "results/bench.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per measurement")
+	serverDur := flag.Duration("serverdur", 300*time.Millisecond, "wall time per server throughput point")
 	flag.Parse()
 
 	stream := gen.NewZipf(streamLen/16, 1.2, 1).Stream(streamLen)
@@ -306,7 +542,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     1,
+		Schema:     2,
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -327,6 +563,21 @@ func main() {
 		fmt.Printf("%-24s per-item %8.2f ns/op  batch %8.2f ns/op  speedup %.2fx\n",
 			w.family, item.NsPerOp, batch.NsPerOp, fr.Speedup)
 	}
+
+	srv, err := serverWorkloads([]int{1, 2, 4, 8, 16}, *serverDur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: server series:", err)
+		os.Exit(1)
+	}
+	rep.Server = srv
+	fmt.Printf("pull cache speedup (16 clients): %.2fx\n", srv.PullCacheSpeedup)
+
+	scaling, err := mergeScalingSeries([]int{1, 2, 4, 8, 16}, 5)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: merge scaling:", err)
+		os.Exit(1)
+	}
+	rep.MergeScaling = scaling
 
 	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

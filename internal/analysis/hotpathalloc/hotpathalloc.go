@@ -11,7 +11,10 @@
 //     (one heap allocation per iteration);
 //   - nondeterminism: time.Now/time.Since and global math/rand —
 //     hot paths must be replayable, which the mergeability property
-//     tests rely on.
+//     tests rely on;
+//   - string([]byte) / string([]rune) conversions (each allocates a
+//     copy of the slice; hot paths should pass slices through or use
+//     unsafe-free lookup keys).
 //
 // panic("constant") remains allowed: guard clauses are part of the
 // summaries' contracts and cost nothing until they fire.
@@ -31,7 +34,8 @@ var Analyzer = &analysis.Analyzer{
 	Doc: `check //sketch:hotpath functions stay allocation-free and deterministic
 
 Annotated functions must not call fmt, build unsized maps, box loop
-variables into interface parameters, or consult time/math-rand.`,
+variables into interface parameters, consult time/math-rand, or
+convert byte/rune slices to string.`,
 	Run: run,
 }
 
@@ -74,6 +78,10 @@ func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 
 func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, loopVars map[types.Object]bool) {
 	name := fd.Name.Name
+	if isStringConversion(pass, call) {
+		pass.Reportf(call.Pos(), "%s: string conversion of byte/rune slice in hot path allocates a copy; keep the slice or hoist the conversion", name)
+		return
+	}
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if fun.Name == "make" && len(call.Args) == 1 {
@@ -121,6 +129,32 @@ func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, loopVa
 			pass.Reportf(arg.Pos(), "%s: loop variable %s boxed into interface parameter; hoist the conversion or use a concrete-typed helper", name, id.Name)
 		}
 	}
+}
+
+// isStringConversion reports whether call is a conversion of a []byte
+// or []rune operand to a string type — an allocation per call.
+func isStringConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || dst.Kind() != types.String {
+		return false
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return false
+	}
+	sl, ok := argTV.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	el, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (el.Kind() == types.Byte || el.Kind() == types.Rune)
 }
 
 // packageOf resolves sel's base identifier to an imported package

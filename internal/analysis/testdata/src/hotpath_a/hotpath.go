@@ -45,6 +45,40 @@ func BadAlloc(xs []int) uint64 {
 	return uint64(len(seen)) + uint64(time.Since(start)) // want `time.Since in hot path is nondeterministic`
 }
 
+// Key is a named string type; conversions to it allocate all the same.
+type Key string
+
+// BadStringConv converts slices to strings inside the hot path.
+//
+//sketch:hotpath
+func BadStringConv(bs [][]byte, rs [][]rune) int {
+	total := 0
+	for _, b := range bs {
+		s := string(b) // want `string conversion of byte/rune slice in hot path allocates a copy`
+		total += len(s)
+	}
+	for _, r := range rs {
+		k := Key(r) // want `string conversion of byte/rune slice in hot path allocates a copy`
+		total += len(k)
+	}
+	return total
+}
+
+// GoodSliceUse stays on the slices; numeric conversions and
+// string-to-string conversions are fine.
+//
+//sketch:hotpath
+func GoodSliceUse(bs [][]byte, names []string) int {
+	total := 0
+	for _, b := range bs {
+		total += len(b) + int(uint64(len(b)))
+	}
+	for _, n := range names {
+		total += len(Key(n))
+	}
+	return total
+}
+
 // ColdPath is unannotated: the same constructs are fine here.
 func ColdPath(xs []int) {
 	seen := make(map[int]bool)

@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 )
 
 // Kind tags identify the summary type inside a frame so that a decoder
@@ -89,8 +90,58 @@ type Buffer struct {
 	b []byte
 }
 
+// maxPooledBuffer is the size-class cap for pooled encode scratch: a
+// buffer that grew beyond it (one enormous summary) is dropped instead
+// of pinned in the pool, so steady-state pooling cannot hold a
+// high-water-mark of memory hostage.
+const maxPooledBuffer = 1 << 20
+
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// GetBuffer returns an empty pooled Buffer. Pair with PutBuffer after
+// the payload has been copied out (EncodeFrame copies), so per-encode
+// payload scratch is reused instead of reallocated.
+//
+//sketch:hotpath
+func GetBuffer() *Buffer {
+	return bufferPool.Get().(*Buffer)
+}
+
+// PutBuffer resets w and returns it to the pool. Buffers above the
+// size-class cap are dropped. The caller must not touch w (or any
+// slice obtained from w.Bytes()) afterwards.
+//
+//sketch:hotpath
+func PutBuffer(w *Buffer) {
+	if w == nil || cap(w.b) > maxPooledBuffer {
+		return
+	}
+	w.b = w.b[:0]
+	bufferPool.Put(w)
+}
+
 // Bytes returns the accumulated payload.
 func (w *Buffer) Bytes() []byte { return w.b }
+
+// Len returns the number of accumulated payload bytes.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// Reset truncates the buffer for reuse, keeping its capacity.
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
+// Grow ensures capacity for at least n more bytes — the pre-sized
+// encode hint: a marshaller that knows its payload size writes with at
+// most one (re)allocation instead of log-many append doublings.
+//
+//sketch:hotpath
+func (w *Buffer) Grow(n int) {
+	if n <= cap(w.b)-len(w.b) {
+		return
+	}
+	nb := make([]byte, len(w.b), len(w.b)+n)
+	copy(nb, w.b)
+	w.b = nb
+}
 
 // Uint64 appends v as a uvarint.
 func (w *Buffer) Uint64(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
@@ -202,16 +253,33 @@ func (r *Reader) Bool() bool {
 
 // Float64 reads 8 little-endian bytes as a float64.
 func (r *Reader) Float64() float64 {
+	b := r.Borrow(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// Borrow returns the next n payload bytes without copying. The slice
+// aliases the frame being decoded: it is valid only while the caller
+// owns that frame buffer, so a decoder that retains bytes beyond its
+// UnmarshalBinary call must copy them out first. This is the zero-copy
+// read primitive for fixed-width runs (raw register arrays, packed
+// floats); pooled frame buffers stay poolable because nothing durable
+// aliases them.
+//
+//sketch:hotpath
+func (r *Reader) Borrow(n int) []byte {
 	if r.err != nil {
-		return 0
+		return nil
 	}
-	if r.off+8 > len(r.b) {
+	if n < 0 || n > len(r.b)-r.off {
 		r.fail()
-		return 0
+		return nil
 	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
-	r.off += 8
-	return v
+	out := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out
 }
 
 // Finish verifies that the payload was consumed exactly.

@@ -228,3 +228,95 @@ func TestFrameRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBufferPoolReuse(t *testing.T) {
+	w := GetBuffer()
+	if w.Len() != 0 {
+		t.Fatalf("pooled buffer not empty: %d bytes", w.Len())
+	}
+	w.Uint64(7)
+	w.Float64(1.5)
+	frame := EncodeFrame(KindMisraGries, w.Bytes())
+	PutBuffer(w)
+	// The frame must be a copy: mutating a reacquired buffer cannot
+	// corrupt a frame encoded from a previous tenant.
+	w2 := GetBuffer()
+	defer PutBuffer(w2)
+	w2.Grow(64)
+	for i := 0; i < 8; i++ {
+		w2.Uint64(math.MaxUint64)
+	}
+	payload, err := DecodeFrame(KindMisraGries, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(payload)
+	if got := r.Uint64(); got != 7 {
+		t.Errorf("Uint64 = %d, want 7", got)
+	}
+	if got := r.Float64(); got != 1.5 {
+		t.Errorf("Float64 = %g, want 1.5", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolSizeClassCap(t *testing.T) {
+	w := new(Buffer)
+	w.Grow(maxPooledBuffer + 1)
+	PutBuffer(w) // must be dropped, not pooled
+	if w2 := GetBuffer(); cap(w2.b) > maxPooledBuffer {
+		t.Errorf("oversized buffer (cap %d) returned to pool", cap(w2.b))
+	}
+}
+
+func TestBufferGrow(t *testing.T) {
+	var w Buffer
+	w.Uint64(1)
+	before := w.Bytes()
+	w.Grow(1 << 10)
+	if got := w.Bytes(); len(got) != len(before) || got[0] != before[0] {
+		t.Fatalf("Grow changed contents: %v vs %v", got, before)
+	}
+	c := cap(w.b)
+	for i := 0; i < 100; i++ {
+		w.Uint64(uint64(i))
+	}
+	if cap(w.b) != c {
+		t.Errorf("Grow(1024) did not pre-size: cap went %d -> %d", c, cap(w.b))
+	}
+}
+
+func TestReaderBorrow(t *testing.T) {
+	var w Buffer
+	w.Uint64(9)
+	w.Float64(2.25)
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != 9 {
+		t.Fatalf("Uint64 = %d", got)
+	}
+	b := r.Borrow(8)
+	if len(b) != 8 {
+		t.Fatalf("Borrow(8) = %d bytes", len(b))
+	}
+	if got := math.Float64frombits(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56); got != 2.25 {
+		t.Errorf("borrowed float bits = %g, want 2.25", got)
+	}
+	// Borrow must alias, not copy.
+	if &b[0] != &w.b[len(w.b)-8] {
+		t.Error("Borrow copied instead of aliasing")
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Borrowing past the end is a recorded decode error, not a panic.
+	r2 := NewReader([]byte{1, 2})
+	if got := r2.Borrow(3); got != nil {
+		t.Errorf("Borrow(3) of 2 bytes = %v, want nil", got)
+	}
+	if !errors.Is(r2.Err(), ErrTruncated) {
+		t.Errorf("Err = %v, want ErrTruncated", r2.Err())
+	}
+}

@@ -355,9 +355,15 @@ func (s *Sketch) Reset() {
 	}
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The payload is
+// built in a pooled buffer pre-sized for the full counter matrix.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Header plus one uvarint per cell; typical counters are small, so
+	// size cells at five bytes (uvarint for values < 2^35) rather than
+	// the 10-byte worst case to avoid chronic 2x over-allocation.
+	w.Grow(4*10 + 1 + s.width*s.depth*5)
 	w.Int(s.width)
 	w.Int(s.depth)
 	w.Uint64(s.seed)

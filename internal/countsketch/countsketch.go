@@ -256,9 +256,14 @@ func (s *Sketch) Reset() {
 	}
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The payload is
+// built in a pooled buffer pre-sized for the counter matrix.
 func (s *Sketch) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Signed cells ride through uvarint as raw two's-complement bits,
+	// so negative values take the full 10 bytes; size for that.
+	w.Grow(4*10 + s.width*s.depth*10)
 	w.Int(s.width)
 	w.Int(s.depth)
 	w.Uint64(s.seed)

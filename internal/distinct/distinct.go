@@ -184,9 +184,12 @@ func (s *KMV) Hashes() []uint64 {
 	return out
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The payload is
+// built in a pooled, pre-sized buffer.
 func (s *KMV) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Grow(1 + 4*10 + len(s.hashes)*10)
 	w.Bool(false) // kind: KMV
 	w.Int(s.k)
 	w.Uint64(s.seed)
@@ -335,9 +338,13 @@ func (s *HLL) Clone() *HLL {
 	return c
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The payload is
+// built in a pooled buffer pre-sized for the register file (each
+// register value is < 65, so one uvarint byte each).
 func (s *HLL) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Grow(1 + 3*10 + len(s.regs))
 	w.Bool(true) // kind: HLL
 	w.Int(int(s.p))
 	w.Uint64(s.seed)

@@ -11,7 +11,15 @@ import (
 // MarshalBinary implements encoding.BinaryMarshaler. The RNG state is
 // re-derived so a decoded summary continues a deterministic sequence.
 func (s *Summary) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Header (size, box, n, seed, lengths) plus 16 bytes per stored
+	// point and a length uvarint per block.
+	pts := len(s.partial)
+	for _, b := range s.blocks {
+		pts += len(b)
+	}
+	w.Grow(4*10 + 4*8 + len(s.blocks)*10 + pts*16)
 	w.Int(s.s)
 	w.Float64(s.box.X0)
 	w.Float64(s.box.Y0)

@@ -10,7 +10,10 @@ import (
 // first). It implements encoding.BinaryMarshaler.
 func (s *Summary) MarshalBinary() ([]byte, error) {
 	s.flush()
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// eps float + n + len, then (float, g, delta) per tuple.
+	w.Grow(8 + 2*10 + len(s.tuples)*(8+2*10))
 	w.Float64(s.eps)
 	w.Uint64(s.n)
 	w.Int(len(s.tuples))

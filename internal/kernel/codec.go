@@ -7,9 +7,13 @@ import (
 	"repro/internal/gen"
 )
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The payload is
+// built in a pooled, pre-sized buffer.
 func (k *Kernel) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Header plus per-slot presence byte and up to three floats.
+	w.Grow(2*10 + 2*k.m*(1+3*8))
 	w.Int(k.m)
 	w.Uint64(k.n)
 	for slot := 0; slot < 2*k.m; slot++ {

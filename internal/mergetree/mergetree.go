@@ -15,6 +15,7 @@ package mergetree
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/gen"
 )
@@ -91,66 +92,106 @@ func Random[S any](parts []S, seed uint64, merge MergeFunc[S]) (S, error) {
 }
 
 // Parallel folds parts with up to workers concurrent binary merges —
-// the topology a multi-core aggregator actually runs. Each summary is
-// owned by exactly one goroutine at a time, so the summaries
-// themselves need no locking. The first merge error aborts the fold.
+// the topology a multi-core aggregator actually runs. The fold is a
+// lock-free pairing reduction: summaries live in a slice and are
+// combined round by round as a balanced binary tree (pair (2i, 2i+1)
+// merges into slot 2i), with workers claiming pair indices off a
+// shared atomic counter. No channels, no mutex on the happy path, and
+// every summary is owned by exactly one goroutine at a time, so the
+// summaries themselves need no locking. The tree shape keeps merge
+// cost balanced: after r rounds every survivor has absorbed ~2^r
+// inputs, exactly like Binary but with the pairs of each round
+// executing concurrently.
+//
+// The first merge error aborts the fold: workers stop claiming pairs,
+// the current round drains, and the error is returned. A failed merge
+// can never strand a worker — there is no queue to block on, only the
+// claim counter, which monotonically runs off the end of the round.
 func Parallel[S any](parts []S, workers int, merge MergeFunc[S]) (S, error) {
 	var zero S
-	if len(parts) == 0 {
+	n := len(parts)
+	if n == 0 {
 		return zero, ErrNoParts
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	// Work-stealing reduction: a channel holds mergeable summaries;
-	// each worker takes two, merges, and puts the result back.
-	pending := make(chan S, len(parts))
-	for _, p := range parts {
-		pending <- p
-	}
-	remaining := len(parts)
+	buf := append(make([]S, 0, n), parts...)
 
-	var mu sync.Mutex
+	var failed atomic.Bool
+	var errMu sync.Mutex
 	var firstErr error
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || remaining <= 1 {
-					mu.Unlock()
-					return
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+
+	for n > 1 {
+		pairs := n / 2
+		w := workers
+		if w > pairs {
+			w = pairs
+		}
+		if w == 1 {
+			// Small tail rounds run inline: no goroutine or barrier
+			// cost when there is nothing left to parallelize.
+			for i := 0; i < pairs && !failed.Load(); i++ {
+				if err := merge(buf[2*i], buf[2*i+1]); err != nil {
+					record(err)
 				}
-				remaining--
-				mu.Unlock()
-				// Claim two summaries. remaining was decremented by
-				// one because two leave and one returns.
-				a := <-pending
-				b := <-pending
-				if err := merge(a, b); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					remaining++ // undo; no result was produced
-					mu.Unlock()
-					// Return both inputs so workers blocked on the
-					// channel can always make progress.
-					pending <- a
-					pending <- b
-					return
-				}
-				pending <- a
 			}
-		}()
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for k := 0; k < w; k++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					mergeRound(buf, pairs, &next, &failed, merge, record)
+				}()
+			}
+			wg.Wait()
+		}
+		if failed.Load() {
+			return zero, firstErr
+		}
+		// Compact the round's winners to the front; an odd leftover
+		// survives to the next round untouched.
+		for i := 1; i < pairs; i++ {
+			buf[i] = buf[2*i]
+		}
+		if n%2 == 1 {
+			buf[pairs] = buf[n-1]
+			n = pairs + 1
+		} else {
+			n = pairs
+		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return zero, firstErr
+	return buf[0], nil
+}
+
+// mergeRound is one round of the pairing reduction: claim pair index i
+// from next, merge buf[2i+1] into buf[2i], repeat until the counter
+// runs past pairs or a failure is flagged. Claiming is a single atomic
+// add; the slots of a claimed pair are touched by exactly one worker,
+// so the round needs no further synchronization.
+//
+//sketch:hotpath
+func mergeRound[S any](buf []S, pairs int, next *atomic.Int64, failed *atomic.Bool, merge MergeFunc[S], record func(error)) {
+	for !failed.Load() {
+		i := next.Add(1) - 1
+		if i >= int64(pairs) {
+			return
+		}
+		if err := merge(buf[2*i], buf[2*i+1]); err != nil {
+			record(err)
+			return
+		}
 	}
-	return <-pending, nil
 }
 
 // BuildAndMerge constructs one summary per partition with build, then

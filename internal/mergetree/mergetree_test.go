@@ -228,3 +228,53 @@ func TestParallelPropagatesFirstError(t *testing.T) {
 		t.Fatalf("%d merge calls after the first error, want <= %d (one in flight per worker)", got, workers)
 	}
 }
+
+// Satellite regression for the pairing reduction's error path: a
+// MergeFunc failing at every possible call position must neither
+// deadlock nor strand a worker, and the sentinel must surface. The old
+// channel-based Parallel could leave workers blocked on the pending
+// channel when a merge failed mid-drain; the pairing reduction has no
+// queue to block on, so every one of these calls must return promptly.
+func TestParallelFailingMergeAtEveryPosition(t *testing.T) {
+	sentinel := errors.New("injected failure")
+	for _, size := range []int{2, 3, 7, 16, 33} {
+		maxCalls := size - 1 // merges performed by a clean fold
+		for _, workers := range []int{1, 2, 4, 8} {
+			for failAt := 0; failAt < maxCalls; failAt++ {
+				var calls atomic.Int64
+				_, err := Parallel(boxes(make([]uint64, size)...), workers,
+					func(dst, src *counterBox) error {
+						if calls.Add(1)-1 == int64(failAt) {
+							return sentinel
+						}
+						return mergeBoxes(dst, src)
+					})
+				if !errors.Is(err, sentinel) {
+					t.Fatalf("size=%d workers=%d failAt=%d: err=%v, want sentinel",
+						size, workers, failAt, err)
+				}
+			}
+		}
+	}
+}
+
+// The reduction must stay correct when merges race against the claim
+// counter: many parts, many workers, exact counting.
+func TestParallelTreeShape(t *testing.T) {
+	const size = 129 // odd leftovers at several rounds
+	counts := make([]uint64, size)
+	var want uint64
+	for i := range counts {
+		counts[i] = uint64(i + 1)
+		want += counts[i]
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Parallel(boxes(counts...), workers, mergeBoxes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.n != want {
+			t.Fatalf("workers=%d: n=%d, want %d", workers, got.n, want)
+		}
+	}
+}

@@ -7,8 +7,14 @@ import (
 
 // MarshalBinary encodes the summary in the library's framed wire
 // format (see package codec). It implements encoding.BinaryMarshaler.
+// The payload is built in a pooled, pre-sized buffer: steady-state
+// encoding allocates only the returned frame.
 func (s *Summary) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Worst-case uvarint sizing: header (k, n, dec, len) plus two
+	// uvarints per counter.
+	w.Grow(4*10 + len(s.counters)*2*10)
 	w.Int(s.k)
 	w.Uint64(s.n)
 	w.Uint64(s.dec)

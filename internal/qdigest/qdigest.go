@@ -292,7 +292,10 @@ func (d *Digest) checkInvariants() error {
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (d *Digest) MarshalBinary() ([]byte, error) {
 	d.Compress()
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Header (logU, k, n, len) plus (id, count) uvarints per node.
+	w.Grow(4*10 + len(d.counts)*2*10)
 	w.Int(int(d.logU))
 	w.Uint64(d.k)
 	w.Uint64(d.n)

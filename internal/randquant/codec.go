@@ -11,7 +11,11 @@ import (
 // encoding.BinaryMarshaler. The RNG state is part of the encoding so a
 // decoded summary continues the same deterministic random sequence.
 func (s *Summary) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Flag + header uvarints, 8 bytes per stored sample, one length
+	// uvarint per block.
+	w.Grow(1 + 4*10 + len(s.partial)*8 + len(s.blocks)*(10+s.s*8))
 	w.Bool(false) // not hybrid
 	w.Int(s.s)
 	w.Uint64(s.n)
@@ -100,7 +104,9 @@ func (s *Summary) UnmarshalBinary(data []byte) error {
 // MarshalBinary encodes the hybrid summary. It implements
 // encoding.BinaryMarshaler.
 func (h *Hybrid) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Grow(1 + 6*10 + len(h.partial)*8 + len(h.blocks)*(10+h.s*8))
 	w.Bool(true) // hybrid
 	w.Int(h.s)
 	w.Int(h.l)

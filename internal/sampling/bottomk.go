@@ -176,9 +176,12 @@ func (s *BottomK) Reset() {
 	s.keep = s.keep[:0]
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The payload is
+// built in a pooled, pre-sized buffer.
 func (s *BottomK) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Grow(4*10 + len(s.keep)*(10+8))
 	w.Int(s.k)
 	w.Uint64(s.n)
 	w.Uint64(s.rng.Uint64())

@@ -24,6 +24,28 @@
 // preceding a failed decode/merge within a batch stay merged (the
 // reply reports the error).
 //
+// Concurrency architecture (the merge plane):
+//
+//   - PUSH/PUSHB read frames into pooled buffers and decode them into
+//     pooled scratch summaries entirely outside the slot lock; only
+//     the merge itself runs under sl.mu. Steady-state ingestion
+//     allocates nothing at the framing layer.
+//   - Every successful mutation bumps the slot's version counter.
+//     PULL serves from an epoch-versioned encoded-snapshot cache: a
+//     slot re-encodes only after its version moved, and concurrent
+//     readers share the cached bytes lock-free. A PULL issued after a
+//     push's OK reply always observes that push (the version bump
+//     happens before the reply is written).
+//   - Lock ordering: s.mu (slot map) and sl.mu (one slot) are never
+//     held together except map-lookup-then-slot-lock; sl.mu is never
+//     held while touching another slot.
+//
+// A frame-layer error (unparseable or oversized length line, short
+// read) leaves the stream position unknown, so the server reports ERR
+// and drops the connection rather than misparse frame bytes as
+// commands. Command-layer errors (unknown kind, decode failure, kind
+// mismatch) keep the connection usable.
+//
 // Kinds: mg, ss, quantile, gk, qdigest, countmin, hll. A slot's kind
 // and shape are fixed by its first PUSH; mismatching pushes fail
 // without corrupting the slot.
@@ -38,6 +60,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/countmin"
 	"repro/internal/distinct"
@@ -49,67 +72,96 @@ import (
 )
 
 // maxFrame bounds a single pushed frame (16 MiB) so a misbehaving
-// client cannot exhaust server memory with one length header.
+// client cannot exhaust server memory with one length header. The
+// reader additionally grows its buffer only as bytes actually arrive
+// (see readLengthPrefixed), so even a header declaring the full 16 MiB
+// costs nothing until the peer really sends that much.
 const maxFrame = 16 << 20
+
+// frameChunk is the read granularity for large frames: the frame
+// buffer is extended at most this much ahead of the bytes received.
+const frameChunk = 64 << 10
 
 // MaxBatch bounds the number of frames a single PUSHB may carry.
 const MaxBatch = 4096
 
-// ops adapts one summary kind to the slot interface.
+// errSlotEmpty reports a PULL of a slot that exists but holds nothing.
+var errSlotEmpty = errors.New("slot is empty")
+
+// ops adapts one summary kind to the slot interface. decodeInto fully
+// replaces dst's contents, which is what makes scratch pooling sound.
 type ops struct {
-	decode func([]byte) (any, error)
-	encode func(any) ([]byte, error)
-	merge  func(dst, src any) error
-	n      func(any) uint64
+	newFn      func() any
+	decodeInto func(dst any, frame []byte) error
+	encode     func(any) ([]byte, error)
+	merge      func(dst, src any) error
+	n          func(any) uint64
+	// scratch pools decode targets for this kind: every merge in this
+	// package deep-copies src, so a merged-in summary can immediately
+	// be decoded into again.
+	scratch *sync.Pool
+}
+
+// getScratch returns a pooled decode target of this kind.
+//
+//sketch:hotpath
+func (op ops) getScratch() any {
+	if v := op.scratch.Get(); v != nil {
+		return v
+	}
+	return op.newFn()
+}
+
+// putScratch recycles a decoded summary whose contents are no longer
+// referenced. Never recycle a summary installed as a slot's live
+// summary: the slot owns it.
+//
+//sketch:hotpath
+func (op ops) putScratch(v any) { op.scratch.Put(v) }
+
+// mkOps builds the type-erased adapter for one concrete summary type.
+func mkOps[T any](
+	dec func(*T, []byte) error,
+	enc func(*T) ([]byte, error),
+	mrg func(dst, src *T) error,
+	nFn func(*T) uint64,
+) ops {
+	return ops{
+		newFn:      func() any { return new(T) },
+		decodeInto: func(dst any, b []byte) error { return dec(dst.(*T), b) },
+		encode:     func(v any) ([]byte, error) { return enc(v.(*T)) },
+		merge:      func(d, s any) error { return mrg(d.(*T), s.(*T)) },
+		n:          func(v any) uint64 { return nFn(v.(*T)) },
+		scratch:    new(sync.Pool),
+	}
 }
 
 func kindOps() map[string]ops {
 	return map[string]ops{
-		"mg": {
-			decode: func(b []byte) (any, error) { s := new(mg.Summary); return s, s.UnmarshalBinary(b) },
-			encode: func(v any) ([]byte, error) { return v.(*mg.Summary).MarshalBinary() },
-			merge:  func(d, s any) error { return d.(*mg.Summary).MergeLowError(s.(*mg.Summary)) },
-			n:      func(v any) uint64 { return v.(*mg.Summary).N() },
-		},
-		"ss": {
-			decode: func(b []byte) (any, error) { s := new(spacesaving.Summary); return s, s.UnmarshalBinary(b) },
-			encode: func(v any) ([]byte, error) { return v.(*spacesaving.Summary).MarshalBinary() },
-			merge: func(d, s any) error {
-				return d.(*spacesaving.Summary).MergeLowError(s.(*spacesaving.Summary))
-			},
-			n: func(v any) uint64 { return v.(*spacesaving.Summary).N() },
-		},
-		"quantile": {
-			decode: func(b []byte) (any, error) { s := new(randquant.Summary); return s, s.UnmarshalBinary(b) },
-			encode: func(v any) ([]byte, error) { return v.(*randquant.Summary).MarshalBinary() },
-			merge:  func(d, s any) error { return d.(*randquant.Summary).Merge(s.(*randquant.Summary)) },
-			n:      func(v any) uint64 { return v.(*randquant.Summary).N() },
-		},
-		"gk": {
-			decode: func(b []byte) (any, error) { s := new(gk.Summary); return s, s.UnmarshalBinary(b) },
-			encode: func(v any) ([]byte, error) { return v.(*gk.Summary).MarshalBinary() },
-			merge:  func(d, s any) error { return d.(*gk.Summary).Merge(s.(*gk.Summary)) },
-			n:      func(v any) uint64 { return v.(*gk.Summary).N() },
-		},
-		"qdigest": {
-			decode: func(b []byte) (any, error) { s := new(qdigest.Digest); return s, s.UnmarshalBinary(b) },
-			encode: func(v any) ([]byte, error) { return v.(*qdigest.Digest).MarshalBinary() },
-			merge:  func(d, s any) error { return d.(*qdigest.Digest).Merge(s.(*qdigest.Digest)) },
-			n:      func(v any) uint64 { return v.(*qdigest.Digest).N() },
-		},
-		"countmin": {
-			decode: func(b []byte) (any, error) { s := new(countmin.Sketch); return s, s.UnmarshalBinary(b) },
-			encode: func(v any) ([]byte, error) { return v.(*countmin.Sketch).MarshalBinary() },
-			merge:  func(d, s any) error { return d.(*countmin.Sketch).Merge(s.(*countmin.Sketch)) },
-			n:      func(v any) uint64 { return v.(*countmin.Sketch).N() },
-		},
-		"hll": {
-			decode: func(b []byte) (any, error) { s := new(distinct.HLL); return s, s.UnmarshalBinary(b) },
-			encode: func(v any) ([]byte, error) { return v.(*distinct.HLL).MarshalBinary() },
-			merge:  func(d, s any) error { return d.(*distinct.HLL).Merge(s.(*distinct.HLL)) },
-			n:      func(v any) uint64 { return v.(*distinct.HLL).N() },
-		},
+		"mg": mkOps((*mg.Summary).UnmarshalBinary, (*mg.Summary).MarshalBinary,
+			(*mg.Summary).MergeLowError, (*mg.Summary).N),
+		"ss": mkOps((*spacesaving.Summary).UnmarshalBinary, (*spacesaving.Summary).MarshalBinary,
+			(*spacesaving.Summary).MergeLowError, (*spacesaving.Summary).N),
+		"quantile": mkOps((*randquant.Summary).UnmarshalBinary, (*randquant.Summary).MarshalBinary,
+			(*randquant.Summary).Merge, (*randquant.Summary).N),
+		"gk": mkOps((*gk.Summary).UnmarshalBinary, (*gk.Summary).MarshalBinary,
+			(*gk.Summary).Merge, (*gk.Summary).N),
+		"qdigest": mkOps((*qdigest.Digest).UnmarshalBinary, (*qdigest.Digest).MarshalBinary,
+			(*qdigest.Digest).Merge, (*qdigest.Digest).N),
+		"countmin": mkOps((*countmin.Sketch).UnmarshalBinary, (*countmin.Sketch).MarshalBinary,
+			(*countmin.Sketch).Merge, (*countmin.Sketch).N),
+		"hll": mkOps((*distinct.HLL).UnmarshalBinary, (*distinct.HLL).MarshalBinary,
+			(*distinct.HLL).Merge, (*distinct.HLL).N),
 	}
+}
+
+// snapshot is one epoch of a slot's encoded state. data is immutable
+// once published: concurrent PULLs write the same bytes to their own
+// connections without copying.
+type snapshot struct {
+	version uint64
+	kind    string
+	data    []byte
 }
 
 // slot is one named aggregation target.
@@ -118,6 +170,72 @@ type slot struct {
 	kind    string // guarded by mu
 	summary any    // guarded by mu
 	pushes  uint64 // guarded by mu
+
+	// version counts mutations. It is bumped under mu after every
+	// install/merge and read without mu by the PULL fast path, so a
+	// reply-ordered reader can detect staleness with one atomic load.
+	version atomic.Uint64
+	// snap is the epoch-cached encoding, valid iff snap.version ==
+	// version. Published under mu, loaded lock-free.
+	snap atomic.Pointer[snapshot]
+}
+
+// encoded returns the slot's wire encoding, serving the epoch cache
+// when it is fresh. The fast path is two atomic loads and no lock; the
+// slow path takes sl.mu, re-checks (another puller may have refreshed
+// the cache while we waited), encodes, and publishes the snapshot
+// before unlocking. Invalidation rule: a snapshot is valid only while
+// its version matches the slot's; pushes bump the version, so stale
+// bytes are unreachable the instant a push's reply is written.
+//
+//sketch:hotpath
+func (sl *slot) encoded(kinds map[string]ops, cacheOff bool) (string, []byte, error) {
+	if !cacheOff {
+		if snap := sl.snap.Load(); snap != nil && snap.version == sl.version.Load() {
+			return snap.kind, snap.data, nil
+		}
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.summary == nil {
+		return "", nil, errSlotEmpty
+	}
+	v := sl.version.Load()
+	if !cacheOff {
+		if snap := sl.snap.Load(); snap != nil && snap.version == v {
+			return snap.kind, snap.data, nil
+		}
+	}
+	data, err := kinds[sl.kind].encode(sl.summary)
+	if err != nil {
+		return "", nil, err
+	}
+	if !cacheOff {
+		sl.snap.Store(&snapshot{version: v, kind: sl.kind, data: data})
+	}
+	return sl.kind, data, nil
+}
+
+// frameBuf is a pooled frame read buffer. Pooling the struct (not the
+// slice) keeps Get/Put allocation-free.
+type frameBuf struct{ b []byte }
+
+// maxPooledFrame caps the capacity a returned frame buffer may keep:
+// one giant frame must not pin megabytes in the pool.
+const maxPooledFrame = 1 << 20
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+//sketch:hotpath
+func getFrame() *frameBuf { return framePool.Get().(*frameBuf) }
+
+//sketch:hotpath
+func putFrame(f *frameBuf) {
+	if cap(f.b) > maxPooledFrame {
+		f.b = nil
+	}
+	f.b = f.b[:0]
+	framePool.Put(f)
 }
 
 // Server is the aggregation daemon. Use New and Serve.
@@ -126,6 +244,10 @@ type Server struct {
 
 	mu    sync.Mutex
 	slots map[string]*slot // guarded by mu
+
+	// snapCacheOff disables the PULL snapshot cache (benchmarks use it
+	// to measure the re-encode-every-call baseline).
+	snapCacheOff atomic.Bool
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -140,6 +262,12 @@ func New() *Server {
 		closed: make(chan struct{}),
 	}
 }
+
+// SetSnapshotCache enables or disables the epoch-versioned snapshot
+// cache serving PULL (enabled by default). Disabling forces every PULL
+// to re-encode the slot under its lock — the pre-cache behavior — and
+// exists so benchmarks can measure the cache's effect.
+func (s *Server) SetSnapshotCache(on bool) { s.snapCacheOff.Store(!on) }
 
 // Listen binds the server to addr ("127.0.0.1:0" for an ephemeral
 // port) and returns the bound address.
@@ -213,7 +341,9 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch strings.ToUpper(fields[0]) {
 		case "PUSH":
-			s.cmdPush(fields, r, w)
+			if !s.cmdPush(fields, r, w) {
+				return
+			}
 		case "PUSHB":
 			if !s.cmdPushBatch(fields, r, w) {
 				return
@@ -232,77 +362,127 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// readFrame reads one self-delimiting summary frame preceded by its
-// length line ("<len>\n").
-func readLengthPrefixed(r *bufio.Reader) ([]byte, error) {
+// readLengthPrefixed reads one self-delimiting summary frame preceded
+// by its length line ("<len>\n") into f's pooled buffer, returning the
+// filled slice (aliasing f.b; valid until f is recycled). The declared
+// length is capped at maxFrame, and the buffer grows only as bytes
+// actually arrive — at most one frameChunk ahead and at most 2× the
+// received size — so a hostile length header cannot force a large
+// up-front allocation. Any error from here is protocol-fatal: the
+// stream position is unknown and the connection must be dropped after
+// reporting it.
+func readLengthPrefixed(r *bufio.Reader, f *frameBuf) ([]byte, error) {
 	line, err := r.ReadString('\n')
 	if err != nil {
 		return nil, err
 	}
 	n, err := strconv.Atoi(strings.TrimSpace(line))
 	if err != nil || n < 0 || n > maxFrame {
-		return nil, fmt.Errorf("bad frame length %q", strings.TrimSpace(line))
+		return nil, fmt.Errorf("bad frame length %q (max %d)", strings.TrimSpace(line), maxFrame)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	buf := f.b[:0]
+	for len(buf) < n {
+		chunk := n - len(buf)
+		if chunk > frameChunk {
+			chunk = frameChunk
+		}
+		start := len(buf)
+		if cap(buf) < start+chunk {
+			newCap := 2 * cap(buf)
+			if newCap < start+chunk {
+				newCap = start + chunk
+			}
+			if newCap > n {
+				newCap = n
+			}
+			nb := make([]byte, start, newCap)
+			copy(nb, buf)
+			buf = nb
+		}
+		buf = buf[:start+chunk]
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			f.b = buf[:0]
+			return nil, err
+		}
 	}
+	f.b = buf
 	return buf, nil
 }
 
-func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) {
+// cmdPush handles PUSH: the frame is read into a pooled buffer and
+// decoded into a pooled scratch summary entirely outside the slot
+// lock; only the merge runs under sl.mu. It returns false when the
+// stream can no longer be kept in sync and the connection must drop.
+func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool {
 	if len(fields) != 3 {
 		fmt.Fprintf(w, "ERR usage: PUSH <slot> <kind>\n")
-		return
+		return true
 	}
 	name, kind := fields[1], fields[2]
 	op, ok := s.kinds[kind]
 	if !ok {
-		// Drain nothing: the client will notice the error before
-		// sending the frame only if it waits; we must still consume
-		// the frame to keep the stream in sync.
-		if _, err := readLengthPrefixed(r); err != nil {
-			return
-		}
+		// Consume the frame so the stream stays in sync; if even that
+		// fails, the connection is beyond saving.
+		f := getFrame()
+		_, err := readLengthPrefixed(r, f)
+		putFrame(f)
 		fmt.Fprintf(w, "ERR unknown kind %q\n", kind)
-		return
+		return err == nil
 	}
-	frame, err := readLengthPrefixed(r)
+	f := getFrame()
+	frame, err := readLengthPrefixed(r, f)
 	if err != nil {
+		putFrame(f)
 		fmt.Fprintf(w, "ERR reading frame: %v\n", err)
-		return
+		return false
 	}
-	incoming, err := op.decode(frame)
-	if err != nil {
-		fmt.Fprintf(w, "ERR decoding frame: %v\n", err)
-		return
+	incoming := op.getScratch()
+	decErr := op.decodeInto(incoming, frame)
+	putFrame(f)
+	if decErr != nil {
+		op.putScratch(incoming)
+		fmt.Fprintf(w, "ERR decoding frame: %v\n", decErr)
+		return true
 	}
 	sl := s.getSlot(name)
 	sl.mu.Lock()
-	defer sl.mu.Unlock()
 	switch {
 	case sl.summary == nil:
 		sl.kind = kind
-		sl.summary = incoming
+		sl.summary = incoming // ownership transfers to the slot
 	case sl.kind != kind:
-		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, sl.kind)
-		return
+		held := sl.kind
+		sl.mu.Unlock()
+		op.putScratch(incoming)
+		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
+		return true
 	default:
 		if err := op.merge(sl.summary, incoming); err != nil {
+			// A failed merge may have partially mutated the slot;
+			// bump the version so no cached snapshot outlives it.
+			sl.version.Add(1)
+			sl.mu.Unlock()
+			op.putScratch(incoming)
 			fmt.Fprintf(w, "ERR merge: %v\n", err)
-			return
+			return true
 		}
+		op.putScratch(incoming)
 	}
 	sl.pushes++
-	fmt.Fprintf(w, "OK %d\n", op.n(sl.summary))
+	sl.version.Add(1)
+	n := op.n(sl.summary)
+	sl.mu.Unlock()
+	fmt.Fprintf(w, "OK %d\n", n)
+	return true
 }
 
 // cmdPushBatch handles PUSHB <slot> <kind> <count>: count frames are
-// read and decoded up front (outside any lock), then merged into the
-// slot under a single lock acquisition. It returns false when the
-// connection must be dropped because the stream can no longer be kept
-// in sync (an unparseable count means we cannot know how many frames
-// follow).
+// read into pooled buffers and decoded into pooled scratch summaries
+// up front (outside any lock), then merged into the slot under a
+// single lock acquisition. It returns false when the connection must
+// be dropped because the stream can no longer be kept in sync (an
+// unparseable count or a frame-layer error means we cannot know where
+// the next command starts).
 func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer) bool {
 	if len(fields) != 4 {
 		fmt.Fprintf(w, "ERR usage: PUSHB <slot> <kind> <count>\n")
@@ -316,43 +496,72 @@ func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer)
 	}
 	// Read every frame first so the stream stays in sync regardless of
 	// per-frame errors below.
-	frames := make([][]byte, count)
+	frames := make([]*frameBuf, count)
+	release := func(upto int) {
+		for i := 0; i < upto; i++ {
+			putFrame(frames[i])
+		}
+	}
 	for i := range frames {
-		if frames[i], err = readLengthPrefixed(r); err != nil {
+		frames[i] = getFrame()
+		if _, err = readLengthPrefixed(r, frames[i]); err != nil {
+			release(i + 1)
 			fmt.Fprintf(w, "ERR reading frame %d/%d: %v\n", i+1, count, err)
 			return false
 		}
 	}
 	op, ok := s.kinds[kind]
 	if !ok {
+		release(count)
 		fmt.Fprintf(w, "ERR unknown kind %q\n", kind)
 		return true
 	}
 	decoded := make([]any, count)
 	for i, f := range frames {
-		if decoded[i], err = op.decode(f); err != nil {
+		decoded[i] = op.getScratch()
+		if err = op.decodeInto(decoded[i], f.b); err != nil {
+			for j := 0; j <= i; j++ {
+				op.putScratch(decoded[j])
+			}
+			release(count)
 			fmt.Fprintf(w, "ERR decoding frame %d/%d: %v\n", i+1, count, err)
 			return true
 		}
 	}
+	release(count)
 	sl := s.getSlot(name)
 	sl.mu.Lock()
-	defer sl.mu.Unlock()
 	if sl.summary != nil && sl.kind != kind {
-		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, sl.kind)
+		held := sl.kind
+		sl.mu.Unlock()
+		for _, d := range decoded {
+			op.putScratch(d)
+		}
+		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
 		return true
 	}
 	for i, incoming := range decoded {
 		if sl.summary == nil {
 			sl.kind = kind
-			sl.summary = incoming
+			sl.summary = incoming // ownership transfers to the slot
 		} else if err := op.merge(sl.summary, incoming); err != nil {
+			// Frames before i stay merged; invalidate any snapshot.
+			sl.version.Add(1)
+			sl.mu.Unlock()
+			for _, d := range decoded[i:] {
+				op.putScratch(d)
+			}
 			fmt.Fprintf(w, "ERR merge frame %d/%d: %v\n", i+1, count, err)
 			return true
+		} else {
+			op.putScratch(incoming)
 		}
 		sl.pushes++
 	}
-	fmt.Fprintf(w, "OK %d\n", op.n(sl.summary))
+	sl.version.Add(1)
+	n := op.n(sl.summary)
+	sl.mu.Unlock()
+	fmt.Fprintf(w, "OK %d\n", n)
 	return true
 }
 
@@ -368,18 +577,16 @@ func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
 		fmt.Fprintf(w, "ERR no such slot %q\n", fields[1])
 		return
 	}
-	sl.mu.Lock()
-	defer sl.mu.Unlock()
-	if sl.summary == nil {
-		fmt.Fprintf(w, "ERR slot %q is empty\n", fields[1])
-		return
-	}
-	data, err := s.kinds[sl.kind].encode(sl.summary)
+	kind, data, err := sl.encoded(s.kinds, s.snapCacheOff.Load())
 	if err != nil {
-		fmt.Fprintf(w, "ERR encoding: %v\n", err)
+		if errors.Is(err, errSlotEmpty) {
+			fmt.Fprintf(w, "ERR slot %q is empty\n", fields[1])
+		} else {
+			fmt.Fprintf(w, "ERR encoding: %v\n", err)
+		}
 		return
 	}
-	fmt.Fprintf(w, "OK %s %d\n", sl.kind, len(data))
+	fmt.Fprintf(w, "OK %s %d\n", kind, len(data))
 	w.Write(data)
 }
 
@@ -395,6 +602,11 @@ func (s *Server) cmdStat(w *bufio.Writer) {
 		s.mu.Lock()
 		sl := s.slots[name]
 		s.mu.Unlock()
+		if sl == nil {
+			// Reset won the race since the name list was taken.
+			fmt.Fprintf(w, "%s - 0 0\n", name)
+			continue
+		}
 		sl.mu.Lock()
 		if sl.summary != nil {
 			fmt.Fprintf(w, "%s %s %d %d\n", name, sl.kind, s.kinds[sl.kind].n(sl.summary), sl.pushes)

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exact"
@@ -241,17 +243,94 @@ func TestMalformedCommands(t *testing.T) {
 	if got := send("PUSH onlyslot\n"); !strings.HasPrefix(got, "ERR") {
 		t.Errorf("short PUSH → %q", got)
 	}
-	if got := send("PUSH s mg\nnotanumber\n"); !strings.HasPrefix(got, "ERR") {
-		t.Errorf("bad length → %q", got)
-	}
-	if got := send(fmt.Sprintf("PUSH s mg\n%d\n", maxFrame+1)); !strings.HasPrefix(got, "ERR") {
-		t.Errorf("oversized frame → %q", got)
-	}
-	// Garbage frame bytes of declared length: decode error.
+	// Garbage frame bytes of declared length: decode error, and the
+	// connection stays usable (the stream is still in sync).
 	if got := send("PUSH s mg\n4\nABCD"); !strings.HasPrefix(got, "ERR") {
 		t.Errorf("garbage frame → %q", got)
 	}
 	if got := send("STAT\n"); got != "OK 0" {
 		t.Errorf("STAT after garbage → %q", got)
+	}
+}
+
+// A frame-length error leaves the stream position unknown, so the
+// server must reply ERR and then drop the connection rather than
+// misparse the frame bytes that may follow as commands.
+func TestFrameLengthErrorsDropConnection(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	for _, tc := range []struct {
+		name, payload string
+	}{
+		{"unparseable length", "PUSH s mg\nnotanumber\n"},
+		{"negative length", "PUSH s mg\n-5\n"},
+		{"oversized length", fmt.Sprintf("PUSH s mg\n%d\n", maxFrame+1)},
+		{"oversized batch frame", fmt.Sprintf("PUSHB s mg 2\n%d\n", maxFrame+1)},
+	} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := bufio.NewReader(conn)
+		if _, err := conn.Write([]byte(tc.payload)); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%s: no ERR reply before close: %v", tc.name, err)
+		}
+		if !strings.HasPrefix(line, "ERR") {
+			t.Errorf("%s → %q, want ERR", tc.name, strings.TrimSpace(line))
+		}
+		// The server must close its end: the next read sees EOF, not a
+		// misparse of leftover bytes.
+		if _, err := r.ReadString('\n'); err == nil {
+			t.Errorf("%s: connection stayed open after frame-length error", tc.name)
+		}
+		conn.Close()
+	}
+}
+
+// A hostile length header must not cost the server a frame-sized
+// allocation: the frame buffer grows only as bytes arrive. This is
+// observable from outside by declaring a huge (but legal) length,
+// sending nothing, and watching the server survive many such
+// connections without trouble; the allocation bound itself is asserted
+// by reading the final heap delta.
+func TestOversizedHeaderAllocationBound(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	const conns = 8
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Declare 16 MiB, deliver 16 bytes, hang up.
+		fmt.Fprintf(conn, "PUSH big mg\n%d\n0123456789abcdef", maxFrame)
+		conn.Close()
+	}
+	// Wait for the handlers to notice EOF.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := Dial(addr)
+		if err == nil {
+			c.Stat()
+			c.Close()
+			break
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	grew := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	// Eight aborted 16 MiB declarations with ~16 B delivered each must
+	// not have allocated anywhere near 8×16 MiB; allow generous noise.
+	if grew > 8<<20 {
+		t.Errorf("heap grew %d bytes after %d aborted oversized frames", grew, conns)
 	}
 }

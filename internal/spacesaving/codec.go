@@ -6,13 +6,18 @@ import (
 )
 
 // MarshalBinary encodes the summary in the library's framed wire
-// format. It implements encoding.BinaryMarshaler.
+// format. It implements encoding.BinaryMarshaler. The payload is
+// built in a pooled, pre-sized buffer.
 func (s *Summary) MarshalBinary() ([]byte, error) {
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	states := s.States()
+	// Worst-case uvarint sizing: header (k, n, under, len) plus three
+	// uvarints per counter state.
+	w.Grow(4*10 + len(states)*3*10)
 	w.Int(s.k)
 	w.Uint64(s.n)
 	w.Uint64(s.under)
-	states := s.States()
 	w.Int(len(states))
 	for _, st := range states {
 		w.Uint64(uint64(st.Item))

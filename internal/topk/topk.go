@@ -230,7 +230,11 @@ func (t *Tracker) MarshalBinary() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var w codec.Buffer
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	// Inner frame bytes cost up to two uvarint bytes each; directory
+	// items up to ten.
+	w.Grow(3*10 + len(inner)*2 + t.k*2*10)
 	w.Int(t.k)
 	w.Int(len(inner))
 	for _, b := range inner {
