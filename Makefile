@@ -18,8 +18,8 @@ GOVULNCHECK_VERSION ?= v1.1.4
 check: vet build lint staticcheck govulncheck race sanitize bench-smoke bench-server
 
 # Project-specific analyzers (mergecompat, locksafe, hotpathalloc,
-# detrand); any diagnostic fails the build. Linting runs with the
-# sanitize tag so the invariant layer itself is analyzed.
+# detrand, regcomplete); any diagnostic fails the build. Linting runs
+# with the sanitize tag so the invariant layer itself is analyzed.
 lint:
 	$(GO) run ./cmd/sketchlint
 

@@ -13,7 +13,10 @@
 // Server points are whole-system ops/s measured over -serverdur of
 // wall time per (op, client-count) pair; the PULL series is measured
 // twice, with the epoch snapshot cache on and off, and their ratio is
-// the headline pull_cache_speedup.
+// the headline pull_cache_speedup. The server_kinds series enumerates
+// the registry catalog — one push/pull throughput row per registered
+// family — so the report always covers exactly the kinds the daemon
+// serves.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"repro/internal/mergetree"
 	"repro/internal/mg"
 	"repro/internal/qdigest"
+	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -78,6 +82,17 @@ type serverReport struct {
 	PullCacheSpeedup float64        `json:"pull_cache_speedup"`
 }
 
+// kindPoint is one registry family's server push/pull throughput at a
+// fixed client count — the per-kind view of the aggregation plane, one
+// row per registered family.
+type kindPoint struct {
+	Kind       string  `json:"kind"`
+	Clients    int     `json:"clients"`
+	FrameBytes int     `json:"frame_bytes"`
+	PushPerSec float64 `json:"push_ops_per_sec"`
+	PullPerSec float64 `json:"pull_ops_per_sec"`
+}
+
 // mergeScalePoint is one mergetree.Parallel worker-count measurement
 // over a fixed partition set; Speedup is relative to workers=1.
 type mergeScalePoint struct {
@@ -96,6 +111,7 @@ type report struct {
 	StreamLen    int               `json:"stream_len"`
 	Families     []familyResult    `json:"families"`
 	Server       *serverReport     `json:"server,omitempty"`
+	ServerKinds  []kindPoint       `json:"server_kinds,omitempty"`
 	MergeScaling []mergeScalePoint `json:"merge_scaling,omitempty"`
 }
 
@@ -374,6 +390,69 @@ func serverWorkloads(clientCounts []int, dur time.Duration) (*serverReport, erro
 	return rep, nil
 }
 
+// rawFrame pushes pre-encoded frame bytes, so the per-kind series
+// measures the server's decode/merge path rather than client-side
+// marshaling.
+type rawFrame []byte
+
+func (r rawFrame) MarshalBinary() ([]byte, error) { return r, nil }
+
+// serverKindSeries measures every registered family's server-side
+// push/s (decode + merge into a warm slot) and cached pull/s at a
+// fixed client count. The family list is enumerated from the registry,
+// so a newly registered kind shows up in the report without touching
+// this file.
+func serverKindSeries(clients int, dur time.Duration) ([]kindPoint, error) {
+	out := make([]kindPoint, 0, len(registry.Entries()))
+	for _, ent := range registry.Entries() {
+		frame, err := ent.Encode(ent.Example(1 << 12))
+		if err != nil {
+			return nil, fmt.Errorf("%s: encoding example: %v", ent.Name(), err)
+		}
+		pt := kindPoint{Kind: ent.Name(), Clients: clients, FrameBytes: len(frame)}
+
+		addr, stopSrv, err := startServer(true)
+		if err != nil {
+			return nil, err
+		}
+		pt.PushPerSec, err = measureServer(addr, clients, dur, func(c *server.Client, id int) error {
+			_, err := c.Push(fmt.Sprintf("%s-%d", ent.Name(), id), ent.Name(), rawFrame(frame))
+			return err
+		})
+		stopSrv()
+		if err != nil {
+			return nil, err
+		}
+
+		addr, stopSrv, err = startServer(true)
+		if err != nil {
+			return nil, err
+		}
+		c, err := server.Dial(addr)
+		if err == nil {
+			_, err = c.Push("q", ent.Name(), rawFrame(frame))
+			c.Close()
+		}
+		if err != nil {
+			stopSrv()
+			return nil, err
+		}
+		pt.PullPerSec, err = measureServer(addr, clients, dur, func(c *server.Client, id int) error {
+			_, err := c.Pull("q", discard{})
+			return err
+		})
+		stopSrv()
+		if err != nil {
+			return nil, err
+		}
+
+		out = append(out, pt)
+		fmt.Printf("server/kind=%-12s clients=%d  push %9.0f ops/s  pull %9.0f ops/s  frame %6d B\n",
+			pt.Kind, clients, pt.PushPerSec, pt.PullPerSec, pt.FrameBytes)
+	}
+	return out, nil
+}
+
 // mergeScalingSeries times mergetree.Parallel over a fixed 128-part
 // Count-Min set (pure cell-wise CPU work) at each worker count,
 // cloning the parts outside the timed region because Parallel
@@ -542,7 +621,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     2,
+		Schema:     3,
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -571,6 +650,13 @@ func main() {
 	}
 	rep.Server = srv
 	fmt.Printf("pull cache speedup (16 clients): %.2fx\n", srv.PullCacheSpeedup)
+
+	kinds, err := serverKindSeries(4, *serverDur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: per-kind server series:", err)
+		os.Exit(1)
+	}
+	rep.ServerKinds = kinds
 
 	scaling, err := mergeScalingSeries([]int{1, 2, 4, 8, 16}, 5)
 	if err != nil {

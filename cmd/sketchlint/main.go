@@ -1,6 +1,6 @@
 // Command sketchlint is the repository's static-analysis multichecker:
 // it runs the custom sketch-correctness analyzers (mergecompat,
-// locksafe, hotpathalloc, detrand) over every package of the module
+// locksafe, hotpathalloc, detrand, regcomplete) over every package of the module
 // and exits nonzero on any diagnostic. It is the fast inner loop of
 // `make lint` and part of `make check`.
 //
@@ -29,6 +29,7 @@ import (
 	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/mergecompat"
+	"repro/internal/analysis/regcomplete"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -36,6 +37,7 @@ var analyzers = []*analysis.Analyzer{
 	locksafe.Analyzer,
 	hotpathalloc.Analyzer,
 	detrand.Analyzer,
+	regcomplete.Analyzer,
 }
 
 func main() {

@@ -20,20 +20,31 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
+	"repro/internal/registry"
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	kinds := flag.Bool("kinds", false, "print the served summary kinds and exit")
 	flag.Parse()
+
+	if *kinds {
+		for _, ent := range registry.Entries() {
+			fmt.Printf("%-12s tag %-2d merges %s\n", ent.Name(), ent.Kind(), strings.Join(ent.Variants(), ","))
+		}
+		return
+	}
 
 	s := server.New()
 	bound, err := s.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("summaryd listening on %s\n", bound)
+	fmt.Printf("summaryd listening on %s, serving %d kinds: %s\n",
+		bound, len(registry.Names()), strings.Join(registry.Names(), " "))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

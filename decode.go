@@ -1,0 +1,44 @@
+package mergesum
+
+import (
+	"fmt"
+
+	"repro/internal/registry"
+	// Every family registers itself; linking the catalog here means any
+	// program importing mergesum can decode any frame the library (or a
+	// summaryd server) produces.
+	_ "repro/internal/registry/all"
+)
+
+// Kinds returns the canonical wire names of every summary family in
+// the registry catalog, in wire-tag order — the same names summaryd
+// accepts in PUSH commands and reports in PULL/STAT replies.
+func Kinds() []string { return registry.Names() }
+
+// Decode decodes a wire frame of the named kind into a fresh summary
+// of the family's concrete type (e.g. *MisraGries for "mg"). The frame
+// carries its own kind tag, which must agree with the requested name;
+// a mismatch is an error, never a misparse.
+func Decode(kind string, data []byte) (any, error) {
+	ent, ok := registry.ByName(kind)
+	if !ok {
+		return nil, fmt.Errorf("mergesum: unknown kind %q (have %v)", kind, Kinds())
+	}
+	return ent.Decode(data)
+}
+
+// DecodeAny decodes a wire frame using the kind tag the frame itself
+// carries, returning the kind's canonical name and the decoded summary.
+// Use it when the caller does not know the frame's family up front —
+// e.g. frames pulled from a mixed set of summaryd slots.
+func DecodeAny(data []byte) (string, any, error) {
+	ent, err := registry.FromFrame(data)
+	if err != nil {
+		return "", nil, fmt.Errorf("mergesum: %w", err)
+	}
+	v, err := ent.Decode(data)
+	if err != nil {
+		return "", nil, err
+	}
+	return ent.Name(), v, nil
+}

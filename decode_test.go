@@ -1,0 +1,86 @@
+package mergesum
+
+import (
+	"testing"
+
+	"repro/internal/registry"
+)
+
+func TestKinds(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) < 13 {
+		t.Fatalf("Kinds() = %d families, want at least 13: %v", len(kinds), kinds)
+	}
+	want := map[string]bool{
+		"mg": true, "ss": true, "gk": true, "quantile": true,
+		"countmin": true, "countsketch": true, "bottomk": true,
+		"rangecount": true, "kernel": true, "qdigest": true,
+		"hll": true, "kmv": true, "topk": true,
+	}
+	for _, k := range kinds {
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Kinds() missing %v", want)
+	}
+}
+
+func TestDecode(t *testing.T) {
+	s := NewMisraGries(16)
+	s.Update(3, 40)
+	s.Update(5, 10)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := Decode("mg", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*MisraGries)
+	if !ok {
+		t.Fatalf("Decode returned %T, want *MisraGries", v)
+	}
+	if got.N() != 50 || got.Estimate(3).Value != 40 {
+		t.Fatalf("decoded summary wrong: n=%d", got.N())
+	}
+
+	// The frame's own tag must agree with the requested kind.
+	if _, err := Decode("ss", data); err == nil {
+		t.Fatal("Decode(\"ss\", mg-frame) succeeded")
+	}
+	if _, err := Decode("nope", data); err == nil {
+		t.Fatal("Decode with unknown kind succeeded")
+	}
+}
+
+func TestDecodeAny(t *testing.T) {
+	// Every registered family must survive Encode → DecodeAny with its
+	// canonical name and total weight intact.
+	for _, name := range Kinds() {
+		ent, ok := registry.ByName(name)
+		if !ok {
+			t.Fatalf("kind %q in Kinds() but not in registry", name)
+		}
+		ex := ent.Example(100)
+		data, err := ent.Encode(ex)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		gotName, v, err := DecodeAny(data)
+		if err != nil {
+			t.Fatalf("%s: DecodeAny: %v", name, err)
+		}
+		if gotName != name {
+			t.Fatalf("DecodeAny name = %q, want %q", gotName, name)
+		}
+		if ent.N(v) != ent.N(ex) {
+			t.Fatalf("%s: DecodeAny n = %d, want %d", name, ent.N(v), ent.N(ex))
+		}
+	}
+
+	if _, _, err := DecodeAny([]byte("not a frame")); err == nil {
+		t.Fatal("DecodeAny on garbage succeeded")
+	}
+}

@@ -1,0 +1,18 @@
+package regcomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/regcomplete"
+)
+
+func TestRegcomplete(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/regcomplete_a", regcomplete.Analyzer)
+}
+
+// TestRegcompleteInferred checks that a registration whose summary
+// type argument is inferred from the Spec literal still counts.
+func TestRegcompleteInferred(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/regcomplete_b", regcomplete.Analyzer)
+}

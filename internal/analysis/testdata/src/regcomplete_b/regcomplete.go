@@ -1,0 +1,25 @@
+// Package regcomplete_b checks the inferred-type-argument form: the
+// summary type is deduced from the Spec literal, not spelled in
+// brackets, and the registration must still be recognized.
+package regcomplete_b
+
+import (
+	"repro/internal/codec"
+	"repro/internal/registry"
+)
+
+// Inferred is registered without explicit type arguments.
+type Inferred struct{ n uint64 }
+
+func (g *Inferred) MarshalBinary() ([]byte, error)    { return nil, nil }
+func (g *Inferred) UnmarshalBinary(data []byte) error { return nil }
+func (g *Inferred) Merge(src *Inferred) error         { return nil }
+func (g *Inferred) N() uint64                         { return g.n }
+
+func init() {
+	registry.Register(codec.KindMisraGries, "fixture-inferred", registry.Spec[Inferred]{
+		Example: func(n int) *Inferred { return &Inferred{n: uint64(n)} },
+		Merge:   (*Inferred).Merge,
+		N:       (*Inferred).N,
+	})
+}

@@ -31,7 +31,10 @@ import (
 type Kind uint8
 
 // Known summary kinds. New kinds must be appended, never renumbered:
-// the tag is part of the wire format.
+// the tag is part of the wire format. KindHLL, KindKMV and KindTopK
+// were split out of the tags they historically shadowed (bottomk and
+// countmin) when the family registry made one-tag-per-family a checked
+// invariant.
 const (
 	KindInvalid Kind = iota
 	KindMisraGries
@@ -44,20 +47,61 @@ const (
 	KindRangeCount
 	KindKernel
 	KindQDigest
+	KindHLL
+	KindKMV
+	KindTopK
 )
 
-var kindNames = map[Kind]string{
-	KindInvalid:     "invalid",
-	KindMisraGries:  "misra-gries",
-	KindSpaceSaving: "spacesaving",
-	KindGK:          "gk",
-	KindRandQuant:   "randquant",
-	KindCountMin:    "countmin",
-	KindCountSketch: "countsketch",
-	KindBottomK:     "bottomk",
-	KindRangeCount:  "rangecount",
-	KindKernel:      "kernel",
-	KindQDigest:     "qdigest",
+// KindCount is the number of assigned kind tags, KindInvalid included.
+// internal/registry uses it to assert catalog completeness.
+const KindCount = int(KindTopK) + 1
+
+// kindNames maps tags to the canonical wire names declared by
+// registry registrations (RegisterKindName). The codec package itself
+// assigns no names: the registry is the single source of truth, and
+// this table is merely its projection for String/KindByName. Writes
+// happen only during package init (family registrations), reads only
+// afterwards, so no lock is needed.
+var kindNames = map[Kind]string{}
+
+// kindByName is the inverse of kindNames.
+var kindByName = map[string]Kind{}
+
+// RegisterKindName binds a kind tag to its canonical wire name. It is
+// called by internal/registry once per family at init time and panics
+// on a duplicate tag or name: two families may not share a wire tag
+// (the historical topk/countmin and hll/kmv/bottomk aliasing), and two
+// tags may not share a name.
+func RegisterKindName(k Kind, name string) {
+	if k == KindInvalid || name == "" {
+		panic("codec: cannot register the invalid kind or an empty name")
+	}
+	if prev, ok := kindNames[k]; ok {
+		panic(fmt.Sprintf("codec: kind %d already registered as %q", uint8(k), prev))
+	}
+	if prev, ok := kindByName[name]; ok {
+		panic(fmt.Sprintf("codec: name %q already registered for kind %d", name, uint8(prev)))
+	}
+	kindNames[k] = name
+	kindByName[name] = k
+}
+
+// KindByName returns the kind tag registered under the canonical wire
+// name, or (KindInvalid, false) when no family claims it.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// RegisteredKinds returns the registered tags in ascending order.
+func RegisteredKinds() []Kind {
+	out := make([]Kind, 0, len(kindNames))
+	for k := Kind(1); int(k) < KindCount; k++ {
+		if _, ok := kindNames[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 func (k Kind) String() string {
@@ -316,6 +360,24 @@ func DecodeFrame(kind Kind, data []byte) ([]byte, error) {
 		return nil, ErrTrailing
 	}
 	return payload, nil
+}
+
+// PeekKind returns the kind tag of a frame without validating its
+// payload or checksum: enough of the header is checked (magic and
+// version) to know the byte is really a kind tag. Dispatch layers use
+// it to route a frame to the registered decoder, which then performs
+// the full validation.
+func PeekKind(data []byte) (Kind, error) {
+	if len(data) < len(magic)+2 {
+		return KindInvalid, ErrTruncated
+	}
+	if string(data[:len(magic)]) != magic {
+		return KindInvalid, ErrBadMagic
+	}
+	if data[len(magic)] != Version {
+		return KindInvalid, fmt.Errorf("%w: %d", ErrBadVersion, data[len(magic)])
+	}
+	return Kind(data[len(magic)+1]), nil
 }
 
 // decodeFramePrefix decodes one frame from the front of data, returning

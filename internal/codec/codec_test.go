@@ -199,11 +199,35 @@ func TestStreamFrameWrongKind(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	if KindMisraGries.String() != "misra-gries" {
-		t.Errorf("KindMisraGries.String() = %q", KindMisraGries.String())
+	// Wire names come from registry registrations; this internal test
+	// binary links no family packages, so every tag falls back to the
+	// numeric form. The named path is covered in internal/registry.
+	if KindMisraGries.String() != "kind(1)" {
+		t.Errorf("unregistered KindMisraGries.String() = %q", KindMisraGries.String())
 	}
 	if Kind(200).String() != "kind(200)" {
 		t.Errorf("unknown kind String() = %q", Kind(200).String())
+	}
+}
+
+func TestPeekKind(t *testing.T) {
+	frame := EncodeFrame(KindQDigest, []byte("payload"))
+	k, err := PeekKind(frame)
+	if err != nil || k != KindQDigest {
+		t.Fatalf("PeekKind = %v, %v, want KindQDigest", k, err)
+	}
+	if _, err := PeekKind(frame[:3]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short frame err = %v, want ErrTruncated", err)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, err := PeekKind(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic err = %v, want ErrBadMagic", err)
+	}
+	badv := append([]byte(nil), frame...)
+	badv[4] = 99
+	if _, err := PeekKind(badv); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version err = %v, want ErrBadVersion", err)
 	}
 }
 

@@ -1,0 +1,20 @@
+package countmin
+
+import (
+	"repro/internal/codec"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry.
+func init() {
+	registry.Register[Sketch](codec.KindCountMin, "countmin", registry.Spec[Sketch]{
+		Example: func(n int) *Sketch {
+			s := New(512, 4, 5)
+			s.UpdateBatch(gen.NewZipf(512, 1.2, 5).Stream(n))
+			return s
+		},
+		Merge: (*Sketch).Merge,
+		N:     (*Sketch).N,
+	})
+}

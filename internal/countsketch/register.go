@@ -1,0 +1,20 @@
+package countsketch
+
+import (
+	"repro/internal/codec"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry.
+func init() {
+	registry.Register[Sketch](codec.KindCountSketch, "countsketch", registry.Spec[Sketch]{
+		Example: func(n int) *Sketch {
+			s := New(512, 4, 6)
+			s.UpdateBatch(gen.NewZipf(512, 1.2, 6).Stream(n))
+			return s
+		},
+		Merge: (*Sketch).Merge,
+		N:     (*Sketch).N,
+	})
+}

@@ -199,12 +199,12 @@ func (s *KMV) MarshalBinary() ([]byte, error) {
 	for _, h := range hs {
 		w.Uint64(h)
 	}
-	return codec.EncodeFrame(codec.KindBottomK, w.Bytes()), nil
+	return codec.EncodeFrame(codec.KindKMV, w.Bytes()), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (s *KMV) UnmarshalBinary(data []byte) error {
-	payload, err := codec.DecodeFrame(codec.KindBottomK, data)
+	payload, err := codec.DecodeFrame(codec.KindKMV, data)
 	if err != nil {
 		return err
 	}
@@ -352,12 +352,12 @@ func (s *HLL) MarshalBinary() ([]byte, error) {
 	for _, r := range s.regs {
 		w.Uint64(uint64(r))
 	}
-	return codec.EncodeFrame(codec.KindBottomK, w.Bytes()), nil
+	return codec.EncodeFrame(codec.KindHLL, w.Bytes()), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (s *HLL) UnmarshalBinary(data []byte) error {
-	payload, err := codec.DecodeFrame(codec.KindBottomK, data)
+	payload, err := codec.DecodeFrame(codec.KindHLL, data)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,33 @@
+package distinct
+
+import (
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// init catalogs both distinct-count families; see internal/registry.
+func init() {
+	registry.Register[KMV](codec.KindKMV, "kmv", registry.Spec[KMV]{
+		Example: func(n int) *KMV {
+			s := NewKMV(256, 9)
+			for i := 0; i < n; i++ {
+				s.Update(core.Item(i))
+			}
+			return s
+		},
+		Merge: (*KMV).Merge,
+		N:     (*KMV).N,
+	})
+	registry.Register[HLL](codec.KindHLL, "hll", registry.Spec[HLL]{
+		Example: func(n int) *HLL {
+			s := NewHLL(12, 10)
+			for i := 0; i < n; i++ {
+				s.Update(core.Item(i))
+			}
+			return s
+		},
+		Merge: (*HLL).Merge,
+		N:     (*HLL).N,
+	})
+}

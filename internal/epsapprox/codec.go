@@ -26,7 +26,7 @@ func (s *Summary) MarshalBinary() ([]byte, error) {
 	w.Float64(s.box.X1)
 	w.Float64(s.box.Y1)
 	w.Uint64(s.n)
-	w.Uint64(s.rng.Uint64())
+	w.Uint64(s.rng.State())
 	w.Int(len(s.partial))
 	for _, p := range s.partial {
 		w.Float64(p.X)

@@ -1,0 +1,23 @@
+package epsapprox
+
+import (
+	"repro/internal/codec"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry.
+func init() {
+	registry.Register[Summary](codec.KindRangeCount, "rangecount", registry.Spec[Summary]{
+		Example: func(n int) *Summary {
+			s := NewEpsilon(0.05, exact.Rect{X0: 0, Y0: 0, X1: 1, Y1: 1}, 12)
+			for _, p := range gen.UniformPoints(n, 12) {
+				s.Update(p)
+			}
+			return s
+		},
+		Merge: (*Summary).Merge,
+		N:     (*Summary).N,
+	})
+}

@@ -49,6 +49,12 @@ func (r *RNG) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// State returns the generator's current state: the seed that, passed
+// to NewRNG, reproduces the remaining stream exactly. Codecs persist
+// an RNG with State so that marshaling is pure — encoding a summary
+// twice yields identical bytes and never perturbs its future stream.
+func (r *RNG) State() uint64 { return r.state }
+
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {

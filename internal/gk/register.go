@@ -1,0 +1,22 @@
+package gk
+
+import (
+	"repro/internal/codec"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry.
+func init() {
+	registry.Register[Summary](codec.KindGK, "gk", registry.Spec[Summary]{
+		Example: func(n int) *Summary {
+			s := New(0.02)
+			for _, v := range gen.UniformValues(n, 3) {
+				s.Update(v)
+			}
+			return s
+		},
+		Merge: (*Summary).Merge,
+		N:     (*Summary).N,
+	})
+}

@@ -1,0 +1,22 @@
+package kernel
+
+import (
+	"repro/internal/codec"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry.
+func init() {
+	registry.Register[Kernel](codec.KindKernel, "kernel", registry.Spec[Kernel]{
+		Example: func(n int) *Kernel {
+			k := NewEpsilon(0.1)
+			for _, p := range gen.RingPoints(n, 1, 0.05, 13) {
+				k.Update(p)
+			}
+			return k
+		},
+		Merge: (*Kernel).Merge,
+		N:     (*Kernel).N,
+	})
+}

@@ -1,0 +1,23 @@
+package mg
+
+import (
+	"repro/internal/codec"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry.
+func init() {
+	registry.Register[Summary](codec.KindMisraGries, "mg", registry.Spec[Summary]{
+		Example: func(n int) *Summary {
+			s := New(64)
+			for i, x := range gen.NewZipf(512, 1.2, 1).Stream(n) {
+				s.Update(x, uint64(i%3+1))
+			}
+			return s
+		},
+		Merge:         (*Summary).Merge,
+		MergeLowError: (*Summary).MergeLowError,
+		N:             (*Summary).N,
+	})
+}

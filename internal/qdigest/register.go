@@ -1,0 +1,23 @@
+package qdigest
+
+import (
+	"repro/internal/codec"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry.
+func init() {
+	registry.Register[Digest](codec.KindQDigest, "qdigest", registry.Spec[Digest]{
+		Example: func(n int) *Digest {
+			d := NewEpsilon(16, 0.02)
+			rng := gen.NewRNG(7)
+			for i := 0; i < n; i++ {
+				d.Update(rng.Uint64n(1<<16), 1)
+			}
+			return d
+		},
+		Merge: (*Digest).Merge,
+		N:     (*Digest).N,
+	})
+}

@@ -19,7 +19,7 @@ func (s *Summary) MarshalBinary() ([]byte, error) {
 	w.Bool(false) // not hybrid
 	w.Int(s.s)
 	w.Uint64(s.n)
-	w.Uint64(s.rng.Uint64()) // re-derived seed for the decoded copy
+	w.Uint64(s.rng.State()) // decoded copy resumes the same stream
 	w.Int(len(s.partial))
 	for _, v := range s.partial {
 		w.Float64(v)
@@ -112,7 +112,7 @@ func (h *Hybrid) MarshalBinary() ([]byte, error) {
 	w.Int(h.l)
 	w.Int(h.ell)
 	w.Uint64(h.n)
-	w.Uint64(h.rng.Uint64())
+	w.Uint64(h.rng.State())
 	w.Int(len(h.partial))
 	for _, v := range h.partial {
 		w.Float64(v)

@@ -1,0 +1,25 @@
+package randquant
+
+import (
+	"repro/internal/codec"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry. Only Summary is
+// registered: Hybrid shares the randquant wire tag (a bool payload
+// discriminant), so it rides the same frame kind and is decoded
+// explicitly by callers that build hybrids.
+func init() {
+	registry.Register[Summary](codec.KindRandQuant, "quantile", registry.Spec[Summary]{
+		Example: func(n int) *Summary {
+			s := NewEpsilon(0.02, 4)
+			for _, v := range gen.UniformValues(n, 4) {
+				s.Update(v)
+			}
+			return s
+		},
+		Merge: (*Summary).Merge,
+		N:     (*Summary).N,
+	})
+}

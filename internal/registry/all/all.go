@@ -1,0 +1,21 @@
+// Package all links every summary family into the importing binary:
+// each blank import runs the family's registry.Register init, so a
+// process that imports this package serves the complete catalog.
+// This is the module's only enumeration of family packages; dispatch
+// itself always goes through the registry.
+package all
+
+import (
+	_ "repro/internal/countmin"
+	_ "repro/internal/countsketch"
+	_ "repro/internal/distinct"
+	_ "repro/internal/epsapprox"
+	_ "repro/internal/gk"
+	_ "repro/internal/kernel"
+	_ "repro/internal/mg"
+	_ "repro/internal/qdigest"
+	_ "repro/internal/randquant"
+	_ "repro/internal/sampling"
+	_ "repro/internal/spacesaving"
+	_ "repro/internal/topk"
+)

@@ -184,7 +184,7 @@ func (s *BottomK) MarshalBinary() ([]byte, error) {
 	w.Grow(4*10 + len(s.keep)*(10+8))
 	w.Int(s.k)
 	w.Uint64(s.n)
-	w.Uint64(s.rng.Uint64())
+	w.Uint64(s.rng.State())
 	w.Int(len(s.keep))
 	for _, t := range s.keep {
 		w.Uint64(t.tag)

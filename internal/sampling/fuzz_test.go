@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/gen"
@@ -22,8 +23,22 @@ func FuzzUnmarshal(f *testing.F) {
 		if out.Size() > out.K() {
 			t.Fatal("accepted frame overflows capacity")
 		}
-		if _, err := out.MarshalBinary(); err != nil {
+		// Accepted frames must round-trip to a canonical fixpoint:
+		// re-encode, decode, re-encode byte-identically.
+		canon, err := out.MarshalBinary()
+		if err != nil {
 			t.Fatalf("accepted frame failed to re-marshal: %v", err)
+		}
+		var again BottomK
+		if err := again.UnmarshalBinary(canon); err != nil {
+			t.Fatalf("re-marshaled frame rejected: %v", err)
+		}
+		canon2, err := again.MarshalBinary()
+		if err != nil {
+			t.Fatalf("second re-marshal: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatal("encode/decode/encode is not a fixpoint")
 		}
 	})
 }

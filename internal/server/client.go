@@ -8,6 +8,8 @@ import (
 	"net"
 	"strconv"
 	"strings"
+
+	"repro/internal/registry"
 )
 
 // Client speaks the summaryd protocol over one TCP connection. It is
@@ -113,30 +115,100 @@ func (c *Client) PushBatch(slot, kind string, summaries []encoding.BinaryMarshal
 	return n, nil
 }
 
-// Pull decodes the named slot's merged summary into out, returning the
-// slot's kind.
-func (c *Client) Pull(slot string, out encoding.BinaryUnmarshaler) (string, error) {
+// pullFrame fetches the named slot's raw encoded frame and its kind.
+func (c *Client) pullFrame(slot string) (string, []byte, error) {
 	fmt.Fprintf(c.w, "PULL %s\n", slot)
 	if err := c.w.Flush(); err != nil {
-		return "", err
+		return "", nil, err
 	}
 	rest, err := c.readStatus()
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	fields := strings.Fields(rest)
 	if len(fields) != 2 {
-		return "", fmt.Errorf("server: malformed PULL reply %q", rest)
+		return "", nil, fmt.Errorf("server: malformed PULL reply %q", rest)
 	}
 	n, err := strconv.Atoi(fields[1])
 	if err != nil || n < 0 || n > maxFrame {
-		return "", fmt.Errorf("server: bad frame length %q", fields[1])
+		return "", nil, fmt.Errorf("server: bad frame length %q", fields[1])
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", nil, err
+	}
+	return fields[0], buf, nil
+}
+
+// Pull decodes the named slot's merged summary into out, returning the
+// slot's kind.
+func (c *Client) Pull(slot string, out encoding.BinaryUnmarshaler) (string, error) {
+	kind, buf, err := c.pullFrame(slot)
+	if err != nil {
 		return "", err
 	}
-	return fields[0], out.UnmarshalBinary(buf)
+	return kind, out.UnmarshalBinary(buf)
+}
+
+// PullAny fetches and decodes the named slot's merged summary without
+// the caller naming its type: the frame's kind tag selects the registry
+// entry, which constructs and decodes a fresh summary. The returned
+// value's dynamic type is the family's summary pointer (e.g. *mg.Summary
+// for kind "mg").
+func (c *Client) PullAny(slot string) (string, any, error) {
+	kind, buf, err := c.pullFrame(slot)
+	if err != nil {
+		return "", nil, err
+	}
+	ent, err := registry.FromFrame(buf)
+	if err != nil {
+		return "", nil, fmt.Errorf("server: slot %q kind %q: %w", slot, kind, err)
+	}
+	v, err := ent.Decode(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	return kind, v, nil
+}
+
+// PushTyped merges a summary into the named slot, deriving the wire
+// kind from the summary's own frame via the registry — callers never
+// spell kind strings. It returns the slot's total weight after the
+// merge.
+func PushTyped[T any, PT registry.Codec[T]](c *Client, slot string, summary PT) (uint64, error) {
+	data, err := summary.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	ent, err := registry.FromFrame(data)
+	if err != nil {
+		return 0, fmt.Errorf("server: push: %w", err)
+	}
+	fmt.Fprintf(c.w, "PUSH %s %s\n%d\n", slot, ent.Name(), len(data))
+	c.w.Write(data)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	rest, err := c.readStatus()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(rest, 10, 64)
+}
+
+// PullTyped fetches the named slot's merged summary decoded into a
+// fresh *T. The slot must hold T's registered kind; a mismatch is
+// reported by the codec layer's kind check, not a silent misparse.
+func PullTyped[T any, PT registry.Codec[T]](c *Client, slot string) (*T, error) {
+	_, buf, err := c.pullFrame(slot)
+	if err != nil {
+		return nil, err
+	}
+	out := new(T)
+	if err := PT(out).UnmarshalBinary(buf); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SlotInfo is one STAT row.

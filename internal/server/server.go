@@ -46,9 +46,13 @@
 // commands. Command-layer errors (unknown kind, decode failure, kind
 // mismatch) keep the connection usable.
 //
-// Kinds: mg, ss, quantile, gk, qdigest, countmin, hll. A slot's kind
-// and shape are fixed by its first PUSH; mismatching pushes fail
-// without corrupting the slot.
+// Kinds: every family in the registry catalog is served — the server
+// keeps no per-kind table of its own. Kind names on the wire are the
+// registry's canonical names (registry.Names lists them; currently
+// mg, ss, gk, quantile, countmin, countsketch, bottomk, rangecount,
+// kernel, qdigest, hll, kmv, topk). A slot's kind and shape are fixed
+// by its first PUSH; mismatching pushes fail without corrupting the
+// slot.
 package server
 
 import (
@@ -62,13 +66,10 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/countmin"
-	"repro/internal/distinct"
-	"repro/internal/gk"
-	"repro/internal/mg"
-	"repro/internal/qdigest"
-	"repro/internal/randquant"
-	"repro/internal/spacesaving"
+	"repro/internal/registry"
+	// Link the full family catalog into any binary embedding the
+	// server, so a bare daemon serves every registered kind.
+	_ "repro/internal/registry/all"
 )
 
 // maxFrame bounds a single pushed frame (16 MiB) so a misbehaving
@@ -88,73 +89,6 @@ const MaxBatch = 4096
 // errSlotEmpty reports a PULL of a slot that exists but holds nothing.
 var errSlotEmpty = errors.New("slot is empty")
 
-// ops adapts one summary kind to the slot interface. decodeInto fully
-// replaces dst's contents, which is what makes scratch pooling sound.
-type ops struct {
-	newFn      func() any
-	decodeInto func(dst any, frame []byte) error
-	encode     func(any) ([]byte, error)
-	merge      func(dst, src any) error
-	n          func(any) uint64
-	// scratch pools decode targets for this kind: every merge in this
-	// package deep-copies src, so a merged-in summary can immediately
-	// be decoded into again.
-	scratch *sync.Pool
-}
-
-// getScratch returns a pooled decode target of this kind.
-//
-//sketch:hotpath
-func (op ops) getScratch() any {
-	if v := op.scratch.Get(); v != nil {
-		return v
-	}
-	return op.newFn()
-}
-
-// putScratch recycles a decoded summary whose contents are no longer
-// referenced. Never recycle a summary installed as a slot's live
-// summary: the slot owns it.
-//
-//sketch:hotpath
-func (op ops) putScratch(v any) { op.scratch.Put(v) }
-
-// mkOps builds the type-erased adapter for one concrete summary type.
-func mkOps[T any](
-	dec func(*T, []byte) error,
-	enc func(*T) ([]byte, error),
-	mrg func(dst, src *T) error,
-	nFn func(*T) uint64,
-) ops {
-	return ops{
-		newFn:      func() any { return new(T) },
-		decodeInto: func(dst any, b []byte) error { return dec(dst.(*T), b) },
-		encode:     func(v any) ([]byte, error) { return enc(v.(*T)) },
-		merge:      func(d, s any) error { return mrg(d.(*T), s.(*T)) },
-		n:          func(v any) uint64 { return nFn(v.(*T)) },
-		scratch:    new(sync.Pool),
-	}
-}
-
-func kindOps() map[string]ops {
-	return map[string]ops{
-		"mg": mkOps((*mg.Summary).UnmarshalBinary, (*mg.Summary).MarshalBinary,
-			(*mg.Summary).MergeLowError, (*mg.Summary).N),
-		"ss": mkOps((*spacesaving.Summary).UnmarshalBinary, (*spacesaving.Summary).MarshalBinary,
-			(*spacesaving.Summary).MergeLowError, (*spacesaving.Summary).N),
-		"quantile": mkOps((*randquant.Summary).UnmarshalBinary, (*randquant.Summary).MarshalBinary,
-			(*randquant.Summary).Merge, (*randquant.Summary).N),
-		"gk": mkOps((*gk.Summary).UnmarshalBinary, (*gk.Summary).MarshalBinary,
-			(*gk.Summary).Merge, (*gk.Summary).N),
-		"qdigest": mkOps((*qdigest.Digest).UnmarshalBinary, (*qdigest.Digest).MarshalBinary,
-			(*qdigest.Digest).Merge, (*qdigest.Digest).N),
-		"countmin": mkOps((*countmin.Sketch).UnmarshalBinary, (*countmin.Sketch).MarshalBinary,
-			(*countmin.Sketch).Merge, (*countmin.Sketch).N),
-		"hll": mkOps((*distinct.HLL).UnmarshalBinary, (*distinct.HLL).MarshalBinary,
-			(*distinct.HLL).Merge, (*distinct.HLL).N),
-	}
-}
-
 // snapshot is one epoch of a slot's encoded state. data is immutable
 // once published: concurrent PULLs write the same bytes to their own
 // connections without copying.
@@ -167,9 +101,9 @@ type snapshot struct {
 // slot is one named aggregation target.
 type slot struct {
 	mu      sync.Mutex
-	kind    string // guarded by mu
-	summary any    // guarded by mu
-	pushes  uint64 // guarded by mu
+	ent     *registry.Entry // guarded by mu; set by the first push
+	summary any             // guarded by mu
+	pushes  uint64          // guarded by mu
 
 	// version counts mutations. It is bumped under mu after every
 	// install/merge and read without mu by the PULL fast path, so a
@@ -189,7 +123,7 @@ type slot struct {
 // bytes are unreachable the instant a push's reply is written.
 //
 //sketch:hotpath
-func (sl *slot) encoded(kinds map[string]ops, cacheOff bool) (string, []byte, error) {
+func (sl *slot) encoded(cacheOff bool) (string, []byte, error) {
 	if !cacheOff {
 		if snap := sl.snap.Load(); snap != nil && snap.version == sl.version.Load() {
 			return snap.kind, snap.data, nil
@@ -206,14 +140,14 @@ func (sl *slot) encoded(kinds map[string]ops, cacheOff bool) (string, []byte, er
 			return snap.kind, snap.data, nil
 		}
 	}
-	data, err := kinds[sl.kind].encode(sl.summary)
+	data, err := sl.ent.Encode(sl.summary)
 	if err != nil {
 		return "", nil, err
 	}
 	if !cacheOff {
-		sl.snap.Store(&snapshot{version: v, kind: sl.kind, data: data})
+		sl.snap.Store(&snapshot{version: v, kind: sl.ent.Name(), data: data})
 	}
-	return sl.kind, data, nil
+	return sl.ent.Name(), data, nil
 }
 
 // frameBuf is a pooled frame read buffer. Pooling the struct (not the
@@ -238,10 +172,10 @@ func putFrame(f *frameBuf) {
 	framePool.Put(f)
 }
 
-// Server is the aggregation daemon. Use New and Serve.
+// Server is the aggregation daemon. Use New and Serve. Kind dispatch
+// goes through the registry catalog: the server itself holds no
+// per-kind state.
 type Server struct {
-	kinds map[string]ops
-
 	mu    sync.Mutex
 	slots map[string]*slot // guarded by mu
 
@@ -257,7 +191,6 @@ type Server struct {
 // New returns a server with no slots.
 func New() *Server {
 	return &Server{
-		kinds:  kindOps(),
 		slots:  make(map[string]*slot),
 		closed: make(chan struct{}),
 	}
@@ -419,7 +352,7 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool
 		return true
 	}
 	name, kind := fields[1], fields[2]
-	op, ok := s.kinds[kind]
+	ent, ok := registry.ByName(kind)
 	if !ok {
 		// Consume the frame so the stream stays in sync; if even that
 		// fails, the connection is beyond saving.
@@ -436,11 +369,11 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool
 		fmt.Fprintf(w, "ERR reading frame: %v\n", err)
 		return false
 	}
-	incoming := op.getScratch()
-	decErr := op.decodeInto(incoming, frame)
+	incoming := ent.GetScratch()
+	decErr := ent.DecodeInto(incoming, frame)
 	putFrame(f)
 	if decErr != nil {
-		op.putScratch(incoming)
+		ent.PutScratch(incoming)
 		fmt.Fprintf(w, "ERR decoding frame: %v\n", decErr)
 		return true
 	}
@@ -448,29 +381,29 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool
 	sl.mu.Lock()
 	switch {
 	case sl.summary == nil:
-		sl.kind = kind
+		sl.ent = ent
 		sl.summary = incoming // ownership transfers to the slot
-	case sl.kind != kind:
-		held := sl.kind
+	case sl.ent != ent:
+		held := sl.ent.Name()
 		sl.mu.Unlock()
-		op.putScratch(incoming)
+		ent.PutScratch(incoming)
 		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
 		return true
 	default:
-		if err := op.merge(sl.summary, incoming); err != nil {
+		if err := ent.Merge(sl.summary, incoming); err != nil {
 			// A failed merge may have partially mutated the slot;
 			// bump the version so no cached snapshot outlives it.
 			sl.version.Add(1)
 			sl.mu.Unlock()
-			op.putScratch(incoming)
+			ent.PutScratch(incoming)
 			fmt.Fprintf(w, "ERR merge: %v\n", err)
 			return true
 		}
-		op.putScratch(incoming)
+		ent.PutScratch(incoming)
 	}
 	sl.pushes++
 	sl.version.Add(1)
-	n := op.n(sl.summary)
+	n := ent.N(sl.summary)
 	sl.mu.Unlock()
 	fmt.Fprintf(w, "OK %d\n", n)
 	return true
@@ -510,7 +443,7 @@ func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer)
 			return false
 		}
 	}
-	op, ok := s.kinds[kind]
+	ent, ok := registry.ByName(kind)
 	if !ok {
 		release(count)
 		fmt.Fprintf(w, "ERR unknown kind %q\n", kind)
@@ -518,10 +451,10 @@ func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer)
 	}
 	decoded := make([]any, count)
 	for i, f := range frames {
-		decoded[i] = op.getScratch()
-		if err = op.decodeInto(decoded[i], f.b); err != nil {
+		decoded[i] = ent.GetScratch()
+		if err = ent.DecodeInto(decoded[i], f.b); err != nil {
 			for j := 0; j <= i; j++ {
-				op.putScratch(decoded[j])
+				ent.PutScratch(decoded[j])
 			}
 			release(count)
 			fmt.Fprintf(w, "ERR decoding frame %d/%d: %v\n", i+1, count, err)
@@ -531,35 +464,35 @@ func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer)
 	release(count)
 	sl := s.getSlot(name)
 	sl.mu.Lock()
-	if sl.summary != nil && sl.kind != kind {
-		held := sl.kind
+	if sl.summary != nil && sl.ent != ent {
+		held := sl.ent.Name()
 		sl.mu.Unlock()
 		for _, d := range decoded {
-			op.putScratch(d)
+			ent.PutScratch(d)
 		}
 		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
 		return true
 	}
 	for i, incoming := range decoded {
 		if sl.summary == nil {
-			sl.kind = kind
+			sl.ent = ent
 			sl.summary = incoming // ownership transfers to the slot
-		} else if err := op.merge(sl.summary, incoming); err != nil {
+		} else if err := ent.Merge(sl.summary, incoming); err != nil {
 			// Frames before i stay merged; invalidate any snapshot.
 			sl.version.Add(1)
 			sl.mu.Unlock()
 			for _, d := range decoded[i:] {
-				op.putScratch(d)
+				ent.PutScratch(d)
 			}
 			fmt.Fprintf(w, "ERR merge frame %d/%d: %v\n", i+1, count, err)
 			return true
 		} else {
-			op.putScratch(incoming)
+			ent.PutScratch(incoming)
 		}
 		sl.pushes++
 	}
 	sl.version.Add(1)
-	n := op.n(sl.summary)
+	n := ent.N(sl.summary)
 	sl.mu.Unlock()
 	fmt.Fprintf(w, "OK %d\n", n)
 	return true
@@ -577,7 +510,7 @@ func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
 		fmt.Fprintf(w, "ERR no such slot %q\n", fields[1])
 		return
 	}
-	kind, data, err := sl.encoded(s.kinds, s.snapCacheOff.Load())
+	kind, data, err := sl.encoded(s.snapCacheOff.Load())
 	if err != nil {
 		if errors.Is(err, errSlotEmpty) {
 			fmt.Fprintf(w, "ERR slot %q is empty\n", fields[1])
@@ -609,7 +542,7 @@ func (s *Server) cmdStat(w *bufio.Writer) {
 		}
 		sl.mu.Lock()
 		if sl.summary != nil {
-			fmt.Fprintf(w, "%s %s %d %d\n", name, sl.kind, s.kinds[sl.kind].n(sl.summary), sl.pushes)
+			fmt.Fprintf(w, "%s %s %d %d\n", name, sl.ent.Name(), sl.ent.N(sl.summary), sl.pushes)
 		} else {
 			fmt.Fprintf(w, "%s - 0 0\n", name)
 		}

@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mg"
+	"repro/internal/registry"
+)
+
+// The encoded snapshot path must produce exactly the frame the
+// registry entry would encode from a plain Snapshot — same bytes, kind
+// tag included — so a shard layer can feed an aggregator directly.
+func TestSnapshotEncoded(t *testing.T) {
+	ent, ok := registry.ByName("mg")
+	if !ok {
+		t.Fatal("mg not registered")
+	}
+	s := New(4, func(int) *mg.Summary { return mg.New(32) })
+	for i := 0; i < 1000; i++ {
+		x := core.Item(i % 17)
+		s.Update(uint64(x), func(m *mg.Summary) { m.Update(x, 1) })
+	}
+	clone := (*mg.Summary).Clone
+	merge := (*mg.Summary).Merge
+
+	frame, err := s.SnapshotEncoded(ent, clone, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot(clone, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ent.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(frame) != string(want) {
+		t.Fatalf("SnapshotEncoded frame differs from Encode(Snapshot()): %d vs %d bytes", len(frame), len(want))
+	}
+
+	got, err := ent.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := got.(*mg.Summary).N(); n != 1000 {
+		t.Fatalf("decoded snapshot n = %d, want 1000", n)
+	}
+}

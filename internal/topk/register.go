@@ -1,0 +1,20 @@
+package topk
+
+import (
+	"repro/internal/codec"
+	"repro/internal/gen"
+	"repro/internal/registry"
+)
+
+// init catalogs the family; see internal/registry.
+func init() {
+	registry.Register[Tracker](codec.KindTopK, "topk", registry.Spec[Tracker]{
+		Example: func(n int) *Tracker {
+			t := New(16, 512, 4, 11)
+			t.UpdateBatch(gen.NewZipf(512, 1.2, 11).Stream(n))
+			return t
+		},
+		Merge: (*Tracker).Merge,
+		N:     (*Tracker).N,
+	})
+}

@@ -245,12 +245,12 @@ func (t *Tracker) MarshalBinary() ([]byte, error) {
 	for _, x := range items {
 		w.Uint64(uint64(x))
 	}
-	return codec.EncodeFrame(codec.KindCountMin, w.Bytes()), nil
+	return codec.EncodeFrame(codec.KindTopK, w.Bytes()), nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (t *Tracker) UnmarshalBinary(data []byte) error {
-	payload, err := codec.DecodeFrame(codec.KindCountMin, data)
+	payload, err := codec.DecodeFrame(codec.KindTopK, data)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,52 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mg"
+	"repro/internal/registry"
+)
+
+// The encoded query path must produce exactly the frame the registry
+// entry would encode from a plain Query over the same window.
+func TestQueryEncoded(t *testing.T) {
+	ent, ok := registry.ByName("mg")
+	if !ok {
+		t.Fatal("mg not registered")
+	}
+	w := New(4, newMG)
+	for e := 0; e < 3; e++ {
+		for i := 0; i < 100; i++ {
+			w.Current().Update(core.Item(i%7), 1)
+		}
+		if e < 2 {
+			w.Advance()
+		}
+	}
+	merge := (*mg.Summary).Merge
+
+	frame, err := w.QueryEncoded(ent, 2, cloneMG, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := w.Query(2, cloneMG, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ent.Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(frame) != string(want) {
+		t.Fatalf("QueryEncoded frame differs from Encode(Query()): %d vs %d bytes", len(frame), len(want))
+	}
+
+	got, err := ent.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := got.(*mg.Summary).N(); n != 200 {
+		t.Fatalf("decoded window query n = %d, want 200", n)
+	}
+}
