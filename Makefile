@@ -13,9 +13,9 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check lint staticcheck govulncheck vet build test race sanitize bench-smoke bench-server bench-json fuzz clean
+.PHONY: check lint staticcheck govulncheck vet build test race sanitize bench-smoke bench-server bench-json bench-regress fuzz clean
 
-check: vet build lint staticcheck govulncheck race sanitize bench-smoke bench-server
+check: vet build lint staticcheck govulncheck race sanitize bench-smoke bench-server bench-regress
 
 # Project-specific analyzers (mergecompat, locksafe, hotpathalloc,
 # detrand, regcomplete); any diagnostic fails the build. Linting runs
@@ -70,6 +70,18 @@ bench-server:
 # clients, and mergetree.Parallel worker scaling).
 bench-json:
 	$(GO) run ./cmd/bench -out results/bench.json
+
+# Regression gate: measure the per-family ingest paths fresh and fail
+# if any family's batch path regressed more than 10% (or started
+# allocating) against the committed results/bench.json. Two runs,
+# gated on the per-family minimum: noise on a shared builder only ever
+# slows a run down, so the min estimates the true cost. Regenerate the
+# baseline with `make bench-json` when the benchmark machine changes.
+bench-regress:
+	$(GO) run ./cmd/bench -families-only -out /tmp/bench-fresh-1.json
+	$(GO) run ./cmd/bench -families-only -out /tmp/bench-fresh-2.json
+	$(GO) run ./cmd/benchregress -baseline results/bench.json \
+		-fresh /tmp/bench-fresh-1.json,/tmp/bench-fresh-2.json
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUpdateBatch -fuzztime=30s ./internal/mg/

@@ -501,6 +501,7 @@ func main() {
 	out := flag.String("out", "results/bench.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per measurement")
 	serverDur := flag.Duration("serverdur", 300*time.Millisecond, "wall time per server throughput point")
+	familiesOnly := flag.Bool("families-only", false, "measure only the per-family ingest paths (skip server, per-kind and merge-scaling series); used by the bench-regress gate")
 	flag.Parse()
 
 	stream := gen.NewZipf(streamLen/16, 1.2, 1).Stream(streamLen)
@@ -643,27 +644,29 @@ func main() {
 			w.family, item.NsPerOp, batch.NsPerOp, fr.Speedup)
 	}
 
-	srv, err := serverWorkloads([]int{1, 2, 4, 8, 16}, *serverDur)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench: server series:", err)
-		os.Exit(1)
-	}
-	rep.Server = srv
-	fmt.Printf("pull cache speedup (16 clients): %.2fx\n", srv.PullCacheSpeedup)
+	if !*familiesOnly {
+		srv, err := serverWorkloads([]int{1, 2, 4, 8, 16}, *serverDur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: server series:", err)
+			os.Exit(1)
+		}
+		rep.Server = srv
+		fmt.Printf("pull cache speedup (16 clients): %.2fx\n", srv.PullCacheSpeedup)
 
-	kinds, err := serverKindSeries(4, *serverDur)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench: per-kind server series:", err)
-		os.Exit(1)
-	}
-	rep.ServerKinds = kinds
+		kinds, err := serverKindSeries(4, *serverDur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: per-kind server series:", err)
+			os.Exit(1)
+		}
+		rep.ServerKinds = kinds
 
-	scaling, err := mergeScalingSeries([]int{1, 2, 4, 8, 16}, 5)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench: merge scaling:", err)
-		os.Exit(1)
+		scaling, err := mergeScalingSeries([]int{1, 2, 4, 8, 16}, 5)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: merge scaling:", err)
+			os.Exit(1)
+		}
+		rep.MergeScaling = scaling
 	}
-	rep.MergeScaling = scaling
 
 	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

@@ -1,0 +1,138 @@
+// Command benchregress is the performance-regression gate: it compares
+// freshly measured bench reports against the committed baseline
+// (results/bench.json) and fails when any family's batch-ingest path
+// regressed beyond the tolerance. `make bench-regress` wires it up:
+//
+//	go run ./cmd/bench -families-only -out /tmp/bench-fresh-1.json
+//	go run ./cmd/bench -families-only -out /tmp/bench-fresh-2.json
+//	go run ./cmd/benchregress -baseline results/bench.json \
+//	    -fresh /tmp/bench-fresh-1.json,/tmp/bench-fresh-2.json
+//
+// -fresh takes a comma-separated list and gates on the per-family
+// MINIMUM ns/op across the runs: scheduler and frequency noise on a
+// shared builder only ever makes a run slower, so the min over a few
+// runs estimates the true cost while a single sample flakes. Only the
+// per-family numbers gate: they are single-threaded tight loops, far
+// more stable than the server throughput series. Families present in
+// only one report are skipped with a notice (new families have no
+// baseline; retired ones no fresh number), so adding a family never
+// breaks the gate. Allocation counts gate exactly: a batch path that
+// starts allocating where the baseline did not is a regression
+// regardless of speed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type pathResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type familyResult struct {
+	Family  string     `json:"family"`
+	PerItem pathResult `json:"per_item"`
+	Batch   pathResult `json:"batch"`
+}
+
+type report struct {
+	Schema   int            `json:"schema"`
+	Families []familyResult `json:"families"`
+}
+
+func load(path string) (map[string]familyResult, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]familyResult, len(r.Families))
+	for _, f := range r.Families {
+		out[f.Family] = f
+	}
+	return out, r.Schema, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "results/bench.json", "committed baseline report")
+	fresh := flag.String("fresh", "", "comma-separated freshly measured reports (required); gates on the per-family min ns/op")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional batch ns/op regression per family")
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchregress: -fresh is required")
+		os.Exit(2)
+	}
+
+	base, baseSchema, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
+		os.Exit(2)
+	}
+	cur := make(map[string]familyResult)
+	for _, path := range strings.Split(*fresh, ",") {
+		run, curSchema, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
+			os.Exit(2)
+		}
+		if baseSchema != curSchema {
+			fmt.Printf("note: schema %d (baseline) vs %d (%s); families compared by name\n", baseSchema, curSchema, path)
+		}
+		for name, f := range run {
+			best, seen := cur[name]
+			if !seen || f.Batch.NsPerOp < best.Batch.NsPerOp {
+				if seen && best.Batch.AllocsPerOp < f.Batch.AllocsPerOp {
+					f.Batch.AllocsPerOp = best.Batch.AllocsPerOp
+				}
+				cur[name] = f
+			}
+		}
+	}
+
+	failed := 0
+	compared := 0
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("skip: %-28s not in fresh report\n", name)
+			continue
+		}
+		compared++
+		ratio := c.Batch.NsPerOp / b.Batch.NsPerOp
+		switch {
+		case c.Batch.AllocsPerOp > b.Batch.AllocsPerOp:
+			failed++
+			fmt.Printf("FAIL: %-28s batch allocs/op %d -> %d\n",
+				name, b.Batch.AllocsPerOp, c.Batch.AllocsPerOp)
+		case ratio > 1+*tolerance:
+			failed++
+			fmt.Printf("FAIL: %-28s batch %.2f -> %.2f ns/op (%.1f%% slower, tolerance %.0f%%)\n",
+				name, b.Batch.NsPerOp, c.Batch.NsPerOp, (ratio-1)*100, *tolerance*100)
+		default:
+			fmt.Printf("ok:   %-28s batch %.2f -> %.2f ns/op (%+.1f%%)\n",
+				name, b.Batch.NsPerOp, c.Batch.NsPerOp, (ratio-1)*100)
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("skip: %-28s not in baseline (new family)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchregress: no families in common; refusing to pass vacuously")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchregress: %d/%d families regressed\n", failed, compared)
+		os.Exit(1)
+	}
+	fmt.Printf("benchregress: %d families within %.0f%% of baseline\n", compared, *tolerance*100)
+}

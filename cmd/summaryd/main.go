@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/registry"
 	"repro/internal/server"
@@ -29,6 +30,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	kinds := flag.Bool("kinds", false, "print the served summary kinds and exit")
+	front := flag.Int("front", 0, "ingest-front lanes for PUSHB (0 = off, -1 = GOMAXPROCS)")
+	frontTick := flag.Duration("front-tick", 5*time.Millisecond, "ingest-front flush interval")
 	flag.Parse()
 
 	if *kinds {
@@ -39,6 +42,9 @@ func main() {
 	}
 
 	s := server.New()
+	if *front != 0 {
+		s.SetIngestFront(*front, *frontTick)
+	}
 	bound, err := s.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)

@@ -5,8 +5,13 @@
 //
 //   - calls into package fmt (every fmt call allocates and most
 //     box their operands);
-//   - unsized make(map[...]...) (grows by rehashing under batch
-//     load; hot paths must pre-size);
+//   - any make(map[...]...) (a map is a pointer-chasing heap
+//     structure; the flat-table layouts keep hot paths map-free, and
+//     even a pre-sized map allocates its buckets per call — reuse a
+//     pooled or struct-held map outside the hot path instead);
+//   - calls into container/heap (Push/Pop box every element through
+//     heap.Interface and Fix/Init dispatch each comparison through an
+//     interface method table; hot paths use concrete sift helpers);
 //   - boxing a loop variable into an interface-typed parameter
 //     (one heap allocation per iteration);
 //   - nondeterminism: time.Now/time.Since and global math/rand —
@@ -33,9 +38,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "hotpathalloc",
 	Doc: `check //sketch:hotpath functions stay allocation-free and deterministic
 
-Annotated functions must not call fmt, build unsized maps, box loop
-variables into interface parameters, consult time/math-rand, or
-convert byte/rune slices to string.`,
+Annotated functions must not call fmt, allocate maps, go through
+container/heap, box loop variables into interface parameters, consult
+time/math-rand, or convert byte/rune slices to string.`,
 	Run: run,
 }
 
@@ -84,10 +89,14 @@ func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, loopVa
 	}
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		if fun.Name == "make" && len(call.Args) == 1 {
+		if fun.Name == "make" && len(call.Args) >= 1 {
 			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
 				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-					pass.Reportf(call.Pos(), "%s: unsized make(map) in hot path; pre-size the map", name)
+					if len(call.Args) == 1 {
+						pass.Reportf(call.Pos(), "%s: unsized make(map) in hot path; hoist the allocation and reuse the map", name)
+					} else {
+						pass.Reportf(call.Pos(), "%s: make(map) in hot path allocates buckets per call; reuse a pooled or struct-held map", name)
+					}
 				}
 			}
 		}
@@ -96,6 +105,8 @@ func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, loopVa
 			switch {
 			case pkg == "fmt":
 				pass.Reportf(call.Pos(), "%s: fmt.%s call in hot path allocates; format outside the batch loop or panic with a constant", name, fun.Sel.Name)
+			case pkg == "container/heap":
+				pass.Reportf(call.Pos(), "%s: heap.%s in hot path boxes through heap.Interface; use a concrete sift helper", name, fun.Sel.Name)
 			case pkg == "time" && (fun.Sel.Name == "Now" || fun.Sel.Name == "Since"):
 				pass.Reportf(call.Pos(), "%s: time.%s in hot path is nondeterministic; take timestamps outside the batch layer", name, fun.Sel.Name)
 			case pkg == "math/rand" || pkg == "math/rand/v2":

@@ -4,6 +4,7 @@
 package hotpath_a
 
 import (
+	"container/heap"
 	"fmt"
 	"time"
 )
@@ -14,18 +15,16 @@ func Sink(v any) {}
 // SinkInt is the concrete-typed alternative.
 func SinkInt(v int) {}
 
-// Sum is a clean hot path: sized map, constant panic, concrete calls.
+// Sum is a clean hot path: map-free, constant panic, concrete calls.
 //
 //sketch:hotpath
 func Sum(xs []int) int {
 	if xs == nil {
 		panic("hotpath_a: nil batch")
 	}
-	seen := make(map[int]int, len(xs))
 	total := 0
 	for _, x := range xs {
 		SinkInt(x)
-		seen[x]++
 		total += x
 	}
 	return total
@@ -79,11 +78,58 @@ func GoodSliceUse(bs [][]byte, names []string) int {
 	return total
 }
 
+// BadSizedMap pre-sizes its map, which still allocates buckets on
+// every call.
+//
+//sketch:hotpath
+func BadSizedMap(xs []int) int {
+	seen := make(map[int]int, len(xs)) // want `make\(map\) in hot path allocates buckets per call`
+	for _, x := range xs {
+		seen[x]++
+	}
+	return len(seen)
+}
+
+// intHeap is a min-heap used by the container/heap cases.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BadHeap routes every element through heap.Interface.
+//
+//sketch:hotpath
+func BadHeap(h *intHeap, xs []int) {
+	for _, x := range xs {
+		if len(*h) < 8 {
+			heap.Push(h, x) // want `heap.Push in hot path boxes through heap.Interface` `loop variable x boxed into interface parameter`
+			continue
+		}
+		if x > (*h)[0] {
+			(*h)[0] = x
+			heap.Fix(h, 0) // want `heap.Fix in hot path boxes through heap.Interface`
+		}
+	}
+}
+
 // ColdPath is unannotated: the same constructs are fine here.
 func ColdPath(xs []int) {
 	seen := make(map[int]bool)
+	keep := make(map[int]int, len(xs))
+	var h intHeap
 	for _, x := range xs {
 		fmt.Println(x)
 		seen[x] = true
+		keep[x]++
+		heap.Push(&h, x)
 	}
 }

@@ -10,10 +10,16 @@
 // size factor and only probabilistic error, which is exactly the
 // trade-off the deterministic counter summaries (packages mg and
 // spacesaving) avoid.
+//
+// The matrix is stored as one contiguous backing slice in row-major
+// order, so a batch update streams through memory instead of chasing
+// per-row allocations, and column indexing uses the multiply-high
+// range reduction (Lemire's fastrange) instead of an integer division.
 package countmin
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -26,7 +32,7 @@ type Sketch struct {
 	depth        int
 	seed         uint64
 	n            uint64
-	rows         [][]uint64
+	cells        []uint64 // depth*width counters, row-major
 	a, b         []uint64 // per-row multiply-shift hash parameters
 	conservative bool
 	// scratch holds one column index per row so an item's cells are
@@ -45,7 +51,7 @@ func New(width, depth int, seed uint64) *Sketch {
 		width: width,
 		depth: depth,
 		seed:  seed,
-		rows:  make([][]uint64, depth),
+		cells: make([]uint64, width*depth),
 		a:     make([]uint64, depth),
 		b:     make([]uint64, depth),
 	}
@@ -58,11 +64,15 @@ func New(width, depth int, seed uint64) *Sketch {
 		return z ^ (z >> 31)
 	}
 	for i := 0; i < depth; i++ {
-		s.rows[i] = make([]uint64, width)
 		s.a[i] = next() | 1 // multiplier must be odd
 		s.b[i] = next()
 	}
 	return s
+}
+
+// row returns the i-th row as a view into the backing slice.
+func (s *Sketch) row(i int) []uint64 {
+	return s.cells[i*s.width : (i+1)*s.width : (i+1)*s.width]
 }
 
 // NewEpsilonDelta returns a sketch with error at most eps*n per point
@@ -97,10 +107,13 @@ func (s *Sketch) Depth() int { return s.depth }
 // N returns the total weight summarized, including merged-in weight.
 func (s *Sketch) N() uint64 { return s.n }
 
-// cell returns the column index of x in row i.
+// cell returns the column index of x in row i: a multiply-shift hash
+// range-reduced by multiply-high, which maps the hash's high bits onto
+// [0, width) without a division.
 func (s *Sketch) cell(i int, x core.Item) int {
 	h := s.a[i]*uint64(x) + s.b[i]
-	return int((h >> 17) % uint64(s.width))
+	hi, _ := bits.Mul64(h, uint64(s.width))
+	return int(hi)
 }
 
 // Update adds w >= 1 occurrences of x.
@@ -110,8 +123,10 @@ func (s *Sketch) Update(x core.Item, w uint64) {
 	}
 	s.n += w
 	if !s.conservative {
+		width := uint64(s.width)
 		for i := 0; i < s.depth; i++ {
-			s.rows[i][s.cell(i, x)] += w
+			hi, _ := bits.Mul64(s.a[i]*uint64(x)+s.b[i], width)
+			s.cells[uint64(i)*width+hi] += w
 		}
 		debugAssertSampled(s)
 		return
@@ -123,14 +138,15 @@ func (s *Sketch) Update(x core.Item, w uint64) {
 // cells fills the scratch buffer with x's column index in every row and
 // returns it. The buffer is reused across calls, so each item is hashed
 // only once even when its cells are read and then written.
-func (s *Sketch) cells(x core.Item) []int {
+func (s *Sketch) cellIdx(x core.Item) []int {
 	if cap(s.scratch) < s.depth {
 		s.scratch = make([]int, s.depth)
 	}
 	idx := s.scratch[:s.depth]
 	width := uint64(s.width)
 	for i := 0; i < s.depth; i++ {
-		idx[i] = int(((s.a[i]*uint64(x) + s.b[i]) >> 17) % width)
+		hi, _ := bits.Mul64(s.a[i]*uint64(x)+s.b[i], width)
+		idx[i] = int(hi)
 	}
 	return idx
 }
@@ -139,17 +155,17 @@ func (s *Sketch) cells(x core.Item) []int {
 // returns the new estimate (which is exactly est+w: the minimum cell is
 // raised to the target and no cell ends below it). It does not touch n.
 func (s *Sketch) conservativeUpdate(x core.Item, w uint64) uint64 {
-	idx := s.cells(x)
-	min := s.rows[0][idx[0]]
+	idx := s.cellIdx(x)
+	min := s.cells[idx[0]]
 	for i := 1; i < s.depth; i++ {
-		if v := s.rows[i][idx[i]]; v < min {
+		if v := s.cells[i*s.width+idx[i]]; v < min {
 			min = v
 		}
 	}
 	target := min + w
 	for i := 0; i < s.depth; i++ {
-		if s.rows[i][idx[i]] < target {
-			s.rows[i][idx[i]] = target
+		if c := i*s.width + idx[i]; s.cells[c] < target {
+			s.cells[c] = target
 		}
 	}
 	return target
@@ -167,12 +183,13 @@ func (s *Sketch) UpdateAndEstimate(x core.Item, w uint64) uint64 {
 	if s.conservative {
 		return s.conservativeUpdate(x, w)
 	}
-	idx := s.cells(x)
-	s.rows[0][idx[0]] += w
-	min := s.rows[0][idx[0]]
+	idx := s.cellIdx(x)
+	s.cells[idx[0]] += w
+	min := s.cells[idx[0]]
 	for i := 1; i < s.depth; i++ {
-		s.rows[i][idx[i]] += w
-		if v := s.rows[i][idx[i]]; v < min {
+		c := i*s.width + idx[i]
+		s.cells[c] += w
+		if v := s.cells[c]; v < min {
 			min = v
 		}
 	}
@@ -182,7 +199,8 @@ func (s *Sketch) UpdateAndEstimate(x core.Item, w uint64) uint64 {
 // UpdateBatch adds one occurrence of every item in xs. The result is
 // identical to calling Update(x, 1) for each x in order, but the batch
 // path walks the matrix row-major with the row's hash parameters held
-// in registers, amortizing per-item loads and bounds checks.
+// in registers, hashes unrolled four items at a time, and no division
+// in the column reduction.
 //
 //sketch:hotpath
 func (s *Sketch) UpdateBatch(xs []core.Item) {
@@ -200,9 +218,21 @@ func (s *Sketch) UpdateBatch(xs []core.Item) {
 	width := uint64(s.width)
 	for i := 0; i < s.depth; i++ {
 		ai, bi := s.a[i], s.b[i]
-		row := s.rows[i]
-		for _, x := range xs {
-			row[((ai*uint64(x)+bi)>>17)%width]++
+		row := s.row(i)
+		j := 0
+		for ; j+4 <= len(xs); j += 4 {
+			c0, _ := bits.Mul64(ai*uint64(xs[j])+bi, width)
+			c1, _ := bits.Mul64(ai*uint64(xs[j+1])+bi, width)
+			c2, _ := bits.Mul64(ai*uint64(xs[j+2])+bi, width)
+			c3, _ := bits.Mul64(ai*uint64(xs[j+3])+bi, width)
+			row[c0]++
+			row[c1]++
+			row[c2]++
+			row[c3]++
+		}
+		for ; j < len(xs); j++ {
+			c, _ := bits.Mul64(ai*uint64(xs[j])+bi, width)
+			row[c]++
 		}
 	}
 	s.n += uint64(len(xs))
@@ -235,9 +265,17 @@ func (s *Sketch) UpdateBatchWeighted(ws []core.Counter) {
 	width := uint64(s.width)
 	for i := 0; i < s.depth; i++ {
 		ai, bi := s.a[i], s.b[i]
-		row := s.rows[i]
-		for _, c := range ws {
-			row[((ai*uint64(c.Item)+bi)>>17)%width] += c.Count
+		row := s.row(i)
+		j := 0
+		for ; j+2 <= len(ws); j += 2 {
+			c0, _ := bits.Mul64(ai*uint64(ws[j].Item)+bi, width)
+			c1, _ := bits.Mul64(ai*uint64(ws[j+1].Item)+bi, width)
+			row[c0] += ws[j].Count
+			row[c1] += ws[j+1].Count
+		}
+		if j < len(ws) {
+			c, _ := bits.Mul64(ai*uint64(ws[j].Item)+bi, width)
+			row[c] += ws[j].Count
 		}
 	}
 	s.n += total
@@ -263,19 +301,19 @@ func (s *Sketch) Remove(x core.Item, w uint64) {
 	}
 	s.n -= w
 	for i := 0; i < s.depth; i++ {
-		c := s.cell(i, x)
-		if s.rows[i][c] >= w {
-			s.rows[i][c] -= w
+		c := i*s.width + s.cell(i, x)
+		if s.cells[c] >= w {
+			s.cells[c] -= w
 		} else {
-			s.rows[i][c] = 0
+			s.cells[c] = 0
 		}
 	}
 }
 
 func (s *Sketch) estimate(x core.Item) uint64 {
-	min := s.rows[0][s.cell(0, x)]
+	min := s.cells[s.cell(0, x)]
 	for i := 1; i < s.depth; i++ {
-		if v := s.rows[i][s.cell(i, x)]; v < min {
+		if v := s.cells[i*s.width+s.cell(i, x)]; v < min {
 			min = v
 		}
 	}
@@ -300,10 +338,8 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if s.width != other.width || s.depth != other.depth || s.seed != other.seed {
 		return fmt.Errorf("%w: countmin geometry/seed", core.ErrMismatchedShape)
 	}
-	for i := range s.rows {
-		for j := range s.rows[i] {
-			s.rows[i][j] += other.rows[i][j]
-		}
+	for i, v := range other.cells {
+		s.cells[i] += v
 	}
 	s.n += other.n
 	debugAssert(s)
@@ -339,20 +375,14 @@ func (s *Sketch) Clone() *Sketch {
 	c := New(s.width, s.depth, s.seed)
 	c.n = s.n
 	c.conservative = s.conservative
-	for i := range s.rows {
-		copy(c.rows[i], s.rows[i])
-	}
+	copy(c.cells, s.cells)
 	return c
 }
 
 // Reset zeroes the sketch.
 func (s *Sketch) Reset() {
 	s.n = 0
-	for i := range s.rows {
-		for j := range s.rows[i] {
-			s.rows[i][j] = 0
-		}
-	}
+	clear(s.cells)
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler. The payload is
@@ -369,10 +399,8 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 	w.Uint64(s.seed)
 	w.Uint64(s.n)
 	w.Bool(s.conservative)
-	for i := range s.rows {
-		for _, v := range s.rows[i] {
-			w.Uint64(v)
-		}
+	for _, v := range s.cells {
+		w.Uint64(v)
 	}
 	return codec.EncodeFrame(codec.KindCountMin, w.Bytes()), nil
 }
@@ -403,10 +431,8 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	out := New(width, depth, seed)
 	out.n = n
 	out.conservative = conservative
-	for i := 0; i < depth; i++ {
-		for j := 0; j < width; j++ {
-			out.rows[i][j] = r.Uint64()
-		}
+	for i := range out.cells {
+		out.cells[i] = r.Uint64()
 	}
 	if err := r.Finish(); err != nil {
 		return err

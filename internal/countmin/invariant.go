@@ -23,14 +23,12 @@ const sanitizeEnabled = true
 //     the caller removed more than was present, which Remove
 //     documents as unsupported.
 func debugAssert(s *Sketch) {
-	if len(s.rows) != s.depth || len(s.a) != s.depth || len(s.b) != s.depth {
-		panic(fmt.Sprintf("countmin: sanitize: geometry broken: %d rows for depth %d", len(s.rows), s.depth))
+	if len(s.cells) != s.depth*s.width || len(s.a) != s.depth || len(s.b) != s.depth {
+		panic(fmt.Sprintf("countmin: sanitize: geometry broken: %d cells for %dx%d", len(s.cells), s.depth, s.width))
 	}
 	var first uint64
-	for i, row := range s.rows {
-		if len(row) != s.width {
-			panic(fmt.Sprintf("countmin: sanitize: row %d has %d cells, want width %d", i, len(row), s.width))
-		}
+	for i := 0; i < s.depth; i++ {
+		row := s.row(i)
 		var sum uint64
 		for _, c := range row {
 			sum += c

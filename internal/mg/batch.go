@@ -3,15 +3,15 @@ package mg
 import "repro/internal/core"
 
 // pruneSlack is the extra headroom the batch path allows the counter
-// map before pruning: prune triggers at len > k+pruneSlack(k) instead
-// of len > k. Deferred pruning is guarantee-preserving — every prune
-// with m counters subtracts the (m−k)-th smallest count `cut` from the
-// k surviving counters and deletes at least one counter worth `cut`,
-// removing ≥ cut·(k+1) total mass per cut of dec, so dec ≤ n/(k+1)
-// still holds (the PODS'12 argument, which never uses m = k+1). The
-// payoff is amortization: the per-item path pays an O(k log k) prune
-// for every miss once the map is full; the batch path pays one prune
-// per k misses.
+// table before pruning: prune triggers at live > k+pruneSlack(k)
+// instead of live > k. Deferred pruning is guarantee-preserving — every
+// prune with m counters subtracts the (m−k)-th smallest count `cut`
+// from the k surviving counters and deletes at least one counter worth
+// `cut`, removing ≥ cut·(k+1) total mass per cut of dec, so dec ≤
+// n/(k+1) still holds (the PODS'12 argument, which never uses m = k+1).
+// The payoff is amortization: the per-item path pays an O(k log k)
+// prune for every miss once the table is full; the batch path pays one
+// prune per k misses.
 func pruneSlack(k int) int {
 	// Match the merge algorithm's transient footprint: at most 2k live
 	// counters, pruned back to k.
@@ -31,14 +31,34 @@ func (s *Summary) UpdateBatch(xs []core.Item) {
 		return
 	}
 	limit := s.k + pruneSlack(s.k)
+	s.ensure(limit + 1)
+	keys, counts, mask, shift := s.keys, s.counts, s.mask, s.shift
 	for _, x := range xs {
-		s.counters[x]++
-		if len(s.counters) > limit {
+		// Inlined add(x, 1) against hoisted table views: the table
+		// cannot grow mid-batch because prune keeps live <= limit+1
+		// and ensure sized it for that.
+		key := uint64(x)
+		i := (key * fibMul) >> shift
+		for {
+			c := counts[i]
+			if c == 0 {
+				keys[i] = key
+				counts[i] = 1
+				s.live++
+				break
+			}
+			if keys[i] == key {
+				counts[i] = c + 1
+				break
+			}
+			i = (i + 1) & mask
+		}
+		if s.live > limit {
 			s.prune()
 		}
 	}
 	s.n += uint64(len(xs))
-	if len(s.counters) > s.k {
+	if s.live > s.k {
 		s.prune()
 	}
 	debugAssert(s)
@@ -53,19 +73,36 @@ func (s *Summary) UpdateBatchWeighted(ws []core.Counter) {
 		return
 	}
 	limit := s.k + pruneSlack(s.k)
+	s.ensure(limit + 1)
+	keys, counts, mask, shift := s.keys, s.counts, s.mask, s.shift
 	var total uint64
 	for _, c := range ws {
 		if c.Count == 0 {
 			panic("mg: zero-weight update")
 		}
 		total += c.Count
-		s.counters[c.Item] += c.Count
-		if len(s.counters) > limit {
+		key := uint64(c.Item)
+		i := (key * fibMul) >> shift
+		for {
+			cv := counts[i]
+			if cv == 0 {
+				keys[i] = key
+				counts[i] = c.Count
+				s.live++
+				break
+			}
+			if keys[i] == key {
+				counts[i] = cv + c.Count
+				break
+			}
+			i = (i + 1) & mask
+		}
+		if s.live > limit {
 			s.prune()
 		}
 	}
 	s.n += total
-	if len(s.counters) > s.k {
+	if s.live > s.k {
 		s.prune()
 	}
 	debugAssert(s)

@@ -14,7 +14,7 @@ func (s *Summary) MarshalBinary() ([]byte, error) {
 	defer codec.PutBuffer(w)
 	// Worst-case uvarint sizing: header (k, n, dec, len) plus two
 	// uvarints per counter.
-	w.Grow(4*10 + len(s.counters)*2*10)
+	w.Grow(4*10 + s.live*2*10)
 	w.Int(s.k)
 	w.Uint64(s.n)
 	w.Uint64(s.dec)

@@ -26,15 +26,26 @@ const sanitizeEnabled = true
 // after an update, merge, or batch completes — not mid-batch, where
 // deferred pruning intentionally lets the map overshoot k.
 func debugAssert(s *Summary) {
-	if len(s.counters) > s.k {
-		panic(fmt.Sprintf("mg: sanitize: %d counters exceed k=%d", len(s.counters), s.k))
+	if s.live > s.k {
+		panic(fmt.Sprintf("mg: sanitize: %d counters exceed k=%d", s.live, s.k))
 	}
 	var sum uint64
-	for x, v := range s.counters {
+	live := 0
+	for i, v := range s.counts {
 		if v == 0 {
-			panic(fmt.Sprintf("mg: sanitize: zero count for item %d", x))
+			continue
 		}
+		live++
 		sum += v
+		// The slot must be reachable by probing for its own key, or
+		// lookups would silently duplicate the counter.
+		if got := s.get(core.Item(s.keys[i])); got != v {
+			panic(fmt.Sprintf("mg: sanitize: slot %d (item %d, count %d) unreachable by probe (get=%d)",
+				i, s.keys[i], v, got))
+		}
+	}
+	if live != s.live {
+		panic(fmt.Sprintf("mg: sanitize: live=%d but %d occupied slots", s.live, live))
 	}
 	if sum > s.n {
 		panic(fmt.Sprintf("mg: sanitize: monitored mass %d exceeds n=%d (overestimation)", sum, s.n))

@@ -38,9 +38,10 @@ func (s *Summary) MergeLowError(other *Summary) error {
 	if len(combined) <= c {
 		// No pruning necessary: the combined summary is exact
 		// relative to its inputs.
-		clear(s.counters)
+		s.clearTable()
+		s.ensure(len(combined))
 		for _, cc := range combined {
-			s.counters[cc.Item] = cc.Count
+			s.insertFresh(uint64(cc.Item), cc.Count)
 		}
 		debugAssert(s)
 		return nil
@@ -49,7 +50,8 @@ func (s *Summary) MergeLowError(other *Summary) error {
 	pad := core.PadAscending(combined, 2*c)
 	// cnt(i) is the 1-based C_i^f accessor over the padded array.
 	cnt := func(i int) uint64 { return pad[i-1].Count }
-	clear(s.counters)
+	s.clearTable()
+	s.ensure(c)
 	base := cnt(c) // C_c, the amount every surviving counter is cut by
 	for j := 1; j <= c; j++ {
 		e := pad[c+j-1].Item
@@ -60,7 +62,7 @@ func (s *Summary) MergeLowError(other *Summary) error {
 			f = cnt(c+j) - base + cnt(j-1)
 		}
 		if f > 0 {
-			s.counters[e] = f
+			s.insertFresh(uint64(e), f)
 		}
 	}
 	// Every output counter was reduced by at most C_c relative to the

@@ -77,8 +77,9 @@ func TestMergeLowErrorEqualsReplay(t *testing.T) {
 				s := New(k)
 				cnt := rng.Intn(k + 1)
 				for i := 0; i < cnt; i++ {
-					s.counters[core.Item(itemBase+i)] = uint64(rng.Intn(100) + 1)
-					s.n += s.counters[core.Item(itemBase+i)]
+					c := uint64(rng.Intn(100) + 1)
+					s.add(core.Item(itemBase+i), c)
+					s.n += c
 				}
 				return s
 			}
@@ -111,7 +112,7 @@ func TestLowErrorNeverWorse(t *testing.T) {
 				if c == 0 {
 					continue
 				}
-				s.counters[core.Item(base+i)] = uint64(c)
+				s.add(core.Item(base+i), uint64(c))
 				s.n += uint64(c)
 			}
 			return s

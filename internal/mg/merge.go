@@ -2,6 +2,7 @@ package mg
 
 import (
 	"repro/internal/core"
+	"repro/internal/registry"
 )
 
 // Merge folds other into s using the PODS'12 algorithm (Agarwal et al.,
@@ -18,8 +19,11 @@ func (s *Summary) Merge(other *Summary) error {
 	if s.k != other.k {
 		return core.ErrMismatchedK
 	}
-	for x, v := range other.counters {
-		s.counters[x] += v
+	s.ensure(s.live + other.live)
+	for i, c := range other.counts {
+		if c != 0 {
+			s.add(core.Item(other.keys[i]), c)
+		}
 	}
 	s.n += other.n
 	s.dec += other.dec
@@ -37,24 +41,43 @@ func Merged(a, b *Summary) (*Summary, error) {
 	return out, nil
 }
 
+// combineAccumulator borrows a summary to accumulate pointwise counter
+// sums into, drawn from the family's registry scratch pool (the same
+// sync.Pool the server's decode path recycles summaries through) so
+// repeated merge experiments do not allocate a fresh table each time.
+// release returns it to the pool.
+func combineAccumulator(occ int) (acc *Summary, release func()) {
+	if ent, ok := registry.ByName("mg"); ok {
+		if pooled, ok := ent.GetScratch().(*Summary); ok {
+			pooled.k = 1 // accumulator never prunes; k is irrelevant
+			pooled.Reset()
+			pooled.ensure(occ)
+			return pooled, func() { ent.PutScratch(pooled) }
+		}
+	}
+	return newSized(1, occ), func() {}
+}
+
 // CombinedCounters returns the exact pointwise sum of the two
 // summaries' counters in ascending order — the intermediate multiset S
 // both merge algorithms start from. Exposed for the total-error
-// experiments, which compare each merge's output against it.
+// experiments, which compare each merge's output against it. The
+// accumulation runs in a pooled scratch table; only the returned slice
+// is allocated.
 func CombinedCounters(a, b *Summary) []core.Counter {
-	m := make(map[core.Item]uint64, len(a.counters)+len(b.counters))
-	for x, v := range a.counters {
-		m[x] += v
+	acc, release := combineAccumulator(a.live + b.live)
+	defer release()
+	for i, c := range a.counts {
+		if c != 0 {
+			acc.add(core.Item(a.keys[i]), c)
+		}
 	}
-	for x, v := range b.counters {
-		m[x] += v
+	for i, c := range b.counts {
+		if c != 0 {
+			acc.add(core.Item(b.keys[i]), c)
+		}
 	}
-	out := make([]core.Counter, 0, len(m))
-	for x, v := range m {
-		out = append(out, core.Counter{Item: x, Count: v})
-	}
-	core.SortCountersAsc(out)
-	return out
+	return acc.Counters()
 }
 
 // TotalMergeError measures the total error a merge committed relative
@@ -65,7 +88,7 @@ func CombinedCounters(a, b *Summary) []core.Counter {
 func TotalMergeError(combined []core.Counter, merged *Summary) uint64 {
 	var te uint64
 	for _, c := range combined {
-		if got, ok := merged.counters[c.Item]; ok {
+		if got := merged.get(c.Item); got != 0 {
 			if got > c.Count {
 				// A merge must never raise a count above the combined
 				// value; flag it loudly in experiments.
@@ -82,7 +105,7 @@ func TotalMergeError(combined []core.Counter, merged *Summary) uint64 {
 func DroppedMergeError(combined []core.Counter, merged *Summary) uint64 {
 	var te uint64
 	for _, c := range combined {
-		if _, ok := merged.counters[c.Item]; !ok {
+		if merged.get(c.Item) == 0 {
 			te += c.Count
 		}
 	}

@@ -18,7 +18,7 @@ func MergeMany(summaries []*Summary) (*Summary, error) {
 		return nil, core.ErrNilSummary
 	}
 	k := summaries[0].k
-	out := New(k)
+	total := 0
 	for _, s := range summaries {
 		if s == nil {
 			return nil, core.ErrNilSummary
@@ -26,8 +26,16 @@ func MergeMany(summaries []*Summary) (*Summary, error) {
 		if s.k != k {
 			return nil, core.ErrMismatchedK
 		}
-		for x, v := range s.counters {
-			out.counters[x] += v
+		total += s.live
+	}
+	// Size the accumulator table once for the full transient footprint
+	// (up to Σ live counters stay live until the single final prune).
+	out := newSized(k, total)
+	for _, s := range summaries {
+		for i, c := range s.counts {
+			if c != 0 {
+				out.add(core.Item(s.keys[i]), c)
+			}
 		}
 		out.n += s.n
 		out.dec += s.dec

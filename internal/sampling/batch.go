@@ -1,13 +1,11 @@
 package sampling
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // UpdateBatch observes every value in vs. The resulting state is
 // identical to calling Update(v) for each v in order (the same tag
-// draws are consumed in the same order).
+// draws are consumed in the same order, and the concrete sift helpers
+// replay container/heap's moves exactly).
 //
 //sketch:hotpath
 func (s *BottomK) UpdateBatch(vs []float64) {
@@ -18,12 +16,12 @@ func (s *BottomK) UpdateBatch(vs []float64) {
 		s.n++
 		t := tagged{tag: s.rng.Uint64(), v: v}
 		if len(s.keep) < s.k {
-			heap.Push(&s.keep, t)
+			s.keep.pushConcrete(t)
 			continue
 		}
 		if t.tag < s.keep[0].tag {
 			s.keep[0] = t
-			heap.Fix(&s.keep, 0)
+			s.keep.fixRoot()
 		}
 	}
 }

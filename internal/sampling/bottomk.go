@@ -44,6 +44,48 @@ func (h *tagHeap) Pop() interface{} {
 	return x
 }
 
+// pushConcrete and fixRoot are the batch path's non-boxing equivalents
+// of heap.Push and heap.Fix(h, 0): identical comparison and swap order
+// to container/heap, so a batch of updates leaves the heap in exactly
+// the state the heap-package loop would — the batch-vs-loop state
+// equality tests depend on that.
+
+func (h *tagHeap) pushConcrete(t tagged) {
+	*h = append(*h, t)
+	h.up(len(*h) - 1)
+}
+
+func (h *tagHeap) fixRoot() { h.down(0) }
+
+func (h tagHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[j].tag <= h[i].tag {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h tagHeap) down(i int) {
+	n := len(h)
+	for {
+		j := 2*i + 1
+		if j >= n || j < 0 { // j < 0 after int overflow
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].tag > h[j].tag {
+			j = j2
+		}
+		if h[j].tag <= h[i].tag {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
 // BottomK is a mergeable uniform sample of up to k values. The zero
 // value is not usable; use NewBottomK. Not safe for concurrent use.
 type BottomK struct {

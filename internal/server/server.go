@@ -61,12 +61,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/registry"
+	"repro/internal/shard"
 	// Link the full family catalog into any binary embedding the
 	// server, so a bare daemon serves every registered kind.
 	_ "repro/internal/registry/all"
@@ -112,6 +115,15 @@ type slot struct {
 	// snap is the epoch-cached encoding, valid iff snap.version ==
 	// version. Published under mu, loaded lock-free.
 	snap atomic.Pointer[snapshot]
+
+	// front is the slot's per-lane ingest front, created lazily by the
+	// first PUSHB once the server has ingest fronting enabled (see
+	// SetIngestFront). nil on servers running the default direct-merge
+	// path. pushedN totals the weight absorbed through the front so the
+	// PUSHB reply stays meaningful without flushing.
+	frontOnce sync.Once
+	front     atomic.Pointer[shard.Front]
+	pushedN   atomic.Uint64
 }
 
 // encoded returns the slot's wire encoding, serving the epoch cache
@@ -183,6 +195,17 @@ type Server struct {
 	// to measure the re-encode-every-call baseline).
 	snapCacheOff atomic.Bool
 
+	// frontLanes > 0 enables the per-lane ingest front for PUSHB:
+	// batches fold into per-connection lanes off the slot lock and the
+	// slot absorbs them on the epoch tick (frontTick) or at the next
+	// PULL/STAT. Set via SetIngestFront before Serve.
+	frontLanes int
+	frontTick  time.Duration
+
+	// connSeq hands each connection a token that spreads its pushes
+	// across front lanes.
+	connSeq atomic.Uint64
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -202,6 +225,26 @@ func New() *Server {
 // exists so benchmarks can measure the cache's effect.
 func (s *Server) SetSnapshotCache(on bool) { s.snapCacheOff.Store(!on) }
 
+// SetIngestFront enables the per-lane ingest front for PUSHB (off by
+// default). With the front on, each batch is folded into a single
+// summary off any lock and parked in a per-connection lane; the slot
+// absorbs the lanes on the epoch tick (every tick) and before any
+// PULL/STAT, so concurrent pushers stop contending on the slot lock
+// while reads stay read-your-writes. The PUSHB reply reports the total
+// weight pushed through the slot (monotone) instead of the merged N.
+// lanes < 1 selects GOMAXPROCS lanes; tick <= 0 selects 5ms. Call
+// before Serve.
+func (s *Server) SetIngestFront(lanes int, tick time.Duration) {
+	if lanes < 1 {
+		lanes = runtime.GOMAXPROCS(0)
+	}
+	if tick <= 0 {
+		tick = 5 * time.Millisecond
+	}
+	s.frontLanes = lanes
+	s.frontTick = tick
+}
+
 // Listen binds the server to addr ("127.0.0.1:0" for an ephemeral
 // port) and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -218,6 +261,10 @@ func (s *Server) Listen(addr string) (string, error) {
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("server: Listen first")
+	}
+	if s.frontLanes > 0 {
+		s.wg.Add(1)
+		go s.flushLoop()
 	}
 	for {
 		conn, err := s.ln.Accept()
@@ -259,6 +306,7 @@ func (s *Server) getSlot(name string) *slot {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	token := s.connSeq.Add(1)
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	defer w.Flush()
@@ -278,7 +326,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		case "PUSHB":
-			if !s.cmdPushBatch(fields, r, w) {
+			if !s.cmdPushBatch(token, fields, r, w) {
 				return
 			}
 		case "PULL":
@@ -380,15 +428,17 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool
 	sl := s.getSlot(name)
 	sl.mu.Lock()
 	switch {
-	case sl.summary == nil:
-		sl.ent = ent
-		sl.summary = incoming // ownership transfers to the slot
-	case sl.ent != ent:
+	// ent can be bound with summary still nil when the ingest front
+	// holds the slot's only data, so the mismatch check keys on ent.
+	case sl.ent != nil && sl.ent != ent:
 		held := sl.ent.Name()
 		sl.mu.Unlock()
 		ent.PutScratch(incoming)
 		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
 		return true
+	case sl.summary == nil:
+		sl.ent = ent
+		sl.summary = incoming // ownership transfers to the slot
 	default:
 		if err := ent.Merge(sl.summary, incoming); err != nil {
 			// A failed merge may have partially mutated the slot;
@@ -416,7 +466,7 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool
 // be dropped because the stream can no longer be kept in sync (an
 // unparseable count or a frame-layer error means we cannot know where
 // the next command starts).
-func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer) bool {
+func (s *Server) cmdPushBatch(token uint64, fields []string, r *bufio.Reader, w *bufio.Writer) bool {
 	if len(fields) != 4 {
 		fmt.Fprintf(w, "ERR usage: PUSHB <slot> <kind> <count>\n")
 		return false
@@ -462,9 +512,12 @@ func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer)
 		}
 	}
 	release(count)
+	if s.frontLanes > 0 {
+		return s.pushBatchFront(name, ent, decoded, token, w)
+	}
 	sl := s.getSlot(name)
 	sl.mu.Lock()
-	if sl.summary != nil && sl.ent != ent {
+	if sl.ent != nil && sl.ent != ent {
 		held := sl.ent.Name()
 		sl.mu.Unlock()
 		for _, d := range decoded {
@@ -498,6 +551,111 @@ func (s *Server) cmdPushBatch(fields []string, r *bufio.Reader, w *bufio.Writer)
 	return true
 }
 
+// pushBatchFront is the PUSHB tail on servers running the ingest
+// front: the already-decoded batch is folded into one summary with no
+// lock held, the slot binds its kind under a brief critical section,
+// and the folded summary lands in the connection's front lane — so
+// concurrent pushers to the same slot contend (at worst) on a lane
+// mutex held for one merge, never on the slot lock. The slot absorbs
+// the lanes on the epoch tick or at the next PULL/STAT (flushFront).
+// The OK reply reports the total weight pushed through the slot so far
+// rather than the merged slot's N, which would require a flush.
+func (s *Server) pushBatchFront(name string, ent *registry.Entry, decoded []any, token uint64, w *bufio.Writer) bool {
+	folded := decoded[0]
+	for i := 1; i < len(decoded); i++ {
+		if err := ent.Merge(folded, decoded[i]); err != nil {
+			for _, d := range decoded[i:] {
+				ent.PutScratch(d)
+			}
+			ent.PutScratch(folded)
+			fmt.Fprintf(w, "ERR merge frame %d/%d: %v\n", i+1, len(decoded), err)
+			return true
+		}
+		ent.PutScratch(decoded[i])
+	}
+	sl := s.getSlot(name)
+	sl.mu.Lock()
+	if sl.ent != nil && sl.ent != ent {
+		held := sl.ent.Name()
+		sl.mu.Unlock()
+		ent.PutScratch(folded)
+		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
+		return true
+	}
+	sl.ent = ent
+	sl.pushes += uint64(len(decoded))
+	sl.mu.Unlock()
+	sl.frontOnce.Do(func() {
+		sl.front.Store(shard.NewFront(ent, s.frontLanes))
+	})
+	n := ent.N(folded)
+	consumed, err := sl.front.Load().Push(token, folded)
+	if !consumed {
+		ent.PutScratch(folded)
+	}
+	if err != nil {
+		fmt.Fprintf(w, "ERR merge: %v\n", err)
+		return true
+	}
+	fmt.Fprintf(w, "OK %d\n", sl.pushedN.Add(n))
+	return true
+}
+
+// flushFront drains the slot's ingest front (if any) and absorbs the
+// pending per-lane summaries under the slot lock, making them visible
+// to PULL/STAT. The front is keyed to one kind, so merges here cannot
+// shape-mismatch in normal operation; if one fails anyway the pending
+// summary is dropped unrecycled (a failed merge may alias its state)
+// and the version bump keeps cached snapshots from outliving the
+// partial merge.
+func flushFront(sl *slot) {
+	fr := sl.front.Load()
+	if fr == nil || !fr.Dirty() {
+		return
+	}
+	pending := fr.Drain()
+	if len(pending) == 0 {
+		return
+	}
+	sl.mu.Lock()
+	for _, p := range pending {
+		if sl.summary == nil {
+			sl.summary = p
+			continue
+		}
+		if err := sl.ent.Merge(sl.summary, p); err == nil {
+			sl.ent.PutScratch(p)
+		}
+	}
+	sl.version.Add(1)
+	sl.mu.Unlock()
+}
+
+// flushLoop is the epoch ticker: on servers running the ingest front
+// it absorbs every slot's lanes each tick, bounding the staleness of
+// lane-parked data by frontTick even when nobody pulls.
+func (s *Server) flushLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.frontTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			sls := make([]*slot, 0, len(s.slots))
+			for _, sl := range s.slots {
+				sls = append(sls, sl)
+			}
+			s.mu.Unlock()
+			for _, sl := range sls {
+				flushFront(sl)
+			}
+		}
+	}
+}
+
 func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
 	if len(fields) != 2 {
 		fmt.Fprintf(w, "ERR usage: PULL <slot>\n")
@@ -510,6 +668,9 @@ func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
 		fmt.Fprintf(w, "ERR no such slot %q\n", fields[1])
 		return
 	}
+	// Absorb any lane-parked batches first: a PULL issued after a
+	// front-mode PUSHB's OK reply must observe that push.
+	flushFront(sl)
 	kind, data, err := sl.encoded(s.snapCacheOff.Load())
 	if err != nil {
 		if errors.Is(err, errSlotEmpty) {
@@ -540,6 +701,7 @@ func (s *Server) cmdStat(w *bufio.Writer) {
 			fmt.Fprintf(w, "%s - 0 0\n", name)
 			continue
 		}
+		flushFront(sl)
 		sl.mu.Lock()
 		if sl.summary != nil {
 			fmt.Fprintf(w, "%s %s %d %d\n", name, sl.ent.Name(), sl.ent.N(sl.summary), sl.pushes)

@@ -1,6 +1,8 @@
 package spacesaving
 
 import (
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/mg"
 )
@@ -26,11 +28,33 @@ func subtractMin(states []CounterState, k int) ([]CounterState, uint64) {
 	return out, mu
 }
 
+// combinePool recycles the pointwise-sum accumulator map across
+// merges, so the merge plane does not allocate a fresh map of size
+// len(a)+len(b) on every fold.
+var combinePool = sync.Pool{
+	New: func() any {
+		m := make(map[core.Item]CounterState, 64)
+		return &m
+	},
+}
+
+// getCombineMap borrows an empty accumulator map from combinePool;
+// release clears it and returns it.
+func getCombineMap() (m map[core.Item]CounterState, release func()) {
+	mp := combinePool.Get().(*map[core.Item]CounterState)
+	return *mp, func() {
+		clear(*mp)
+		combinePool.Put(mp)
+	}
+}
+
 // combineStates sums two state lists pointwise (shared items add both
 // counts and both certificates) and returns the result sorted
-// ascending.
+// ascending. Accumulation runs in a pooled map; only the returned
+// slice is allocated.
 func combineStates(a, b []CounterState) []CounterState {
-	m := make(map[core.Item]CounterState, len(a)+len(b))
+	m, release := getCombineMap()
+	defer release()
 	for _, st := range a {
 		m[st.Item] = st
 	}

@@ -18,7 +18,8 @@ func MergeMany(summaries []*Summary) (*Summary, error) {
 	}
 	k := summaries[0].k
 	out := New(k)
-	combined := make(map[core.Item]CounterState)
+	combined, release := getCombineMap()
+	defer release()
 	for _, s := range summaries {
 		if s == nil {
 			return nil, core.ErrNilSummary

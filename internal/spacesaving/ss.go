@@ -17,54 +17,200 @@
 // counters — and is therefore mergeable with the same guarantees. Both
 // the PODS'12 merge (via the isomorphism) and the low-total-error merge
 // (Algorithm 3 of the supplied follow-up text) are provided.
+//
+// The stream-summary structure is stored flat, in structure-of-arrays
+// layout: items, counts and the eps certificates are three views of a
+// single contiguous backing slice, entries and buckets link to each
+// other by int32 index instead of pointer, and the item lookup is an
+// open-addressed hash table over a dense slot space — the
+// cache-conscious frequent-items layout of Anderson et al. (see
+// PAPERS.md). The update algorithm itself is the classic one; only the
+// memory it walks changed.
 package spacesaving
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/core"
 )
 
-// entry is one monitored item, linked into its count bucket.
-type entry struct {
-	item  core.Item
-	count uint64
-	eps   uint64 // overestimation certificate: count − f(item) <= eps (+merge terms)
-	b     *bucket
-	prev  *entry
-	next  *entry
-}
+// fibMul is the 64-bit Fibonacci hashing multiplier; taking the high
+// bits of key*fibMul spreads dense and strided item spaces evenly
+// across power-of-two tables.
+const fibMul = 0x9E3779B97F4A7C15
 
-// bucket groups all entries sharing one count, in a doubly-linked list
-// of buckets kept in ascending count order. This is the stream-summary
-// structure: unit-weight updates move an entry at most one bucket
-// forward, so Update is O(1).
-type bucket struct {
-	count uint64
-	head  *entry // eviction order: head is the oldest entry
-	tail  *entry
-	prev  *bucket
-	next  *bucket
-}
+// nilIdx is the index-space null for entry and bucket links.
+const nilIdx = int32(-1)
 
 // Summary is a SpaceSaving summary. The zero value is not usable; use
 // New. Summaries are not safe for concurrent use.
+//
+// Entries live in dense slots [0, live): items, counts and eps are
+// equal-length views of one backing allocation, and ebkt/eprev/enext
+// carry the stream-summary links (bucket membership and FIFO order
+// within the bucket). Eviction reuses the victim's slot, so the slot
+// space never fragments. Buckets are a parallel set of arrays linked
+// ascending by count through bprev/bnext and recycled through a free
+// list.
 type Summary struct {
-	k       int
-	n       uint64
-	under   uint64 // accumulated possible undercount, from merge minima subtractions and prunes
-	entries map[core.Item]*entry
-	minB    *bucket // ascending bucket list
-	maxB    *bucket
+	k     int
+	n     uint64
+	under uint64 // accumulated possible undercount, from merge minima subtractions and prunes
+
+	items  []uint64
+	counts []uint64
+	eps    []uint64 // overestimation certificate: count − f(item) <= eps (+merge terms)
+	ebkt   []int32
+	eprev  []int32
+	enext  []int32
+	live   int
+
+	bcnt  []uint64
+	bhead []int32 // eviction order: head is the oldest entry
+	btail []int32
+	bprev []int32
+	bnext []int32
+	bfree []int32
+	minB  int32 // ascending bucket list
+	maxB  int32
+
+	// item -> entry slot open-addressed index; hslot[i] == nilIdx
+	// marks an empty hash slot.
+	hkeys  []uint64
+	hslot  []int32
+	hmask  uint64
+	hshift uint
 }
 
-// New returns an empty summary with capacity k >= 1 counters.
+// New returns an empty summary with capacity k >= 1 counters. The
+// entry arrays are allocated eagerly up to a cap and grow on demand,
+// so very large k does not commit memory before items arrive.
 func New(k int) *Summary {
 	if k < 1 {
 		panic("spacesaving: k must be >= 1")
 	}
-	return &Summary{k: k, entries: make(map[core.Item]*entry, k)}
+	occ := k
+	if occ > 1<<12 {
+		occ = 1 << 12
+	}
+	return newSized(k, occ)
+}
+
+// newSized returns a summary whose entry arrays hold occ monitored
+// items before growing.
+func newSized(k, occ int) *Summary {
+	s := &Summary{k: k, minB: nilIdx, maxB: nilIdx}
+	if occ < 16 {
+		occ = 16
+	}
+	if occ > k {
+		occ = k
+	}
+	s.growTo(occ)
+	return s
+}
+
+// growTo reallocates the entry arrays for cap monitored items,
+// preserving contents, and rebuilds the hash index at load <= 1/2.
+func (s *Summary) growTo(cap int) {
+	ubuf := make([]uint64, 3*cap)
+	lbuf := make([]int32, 3*cap)
+	copy(ubuf[0*cap:], s.items)
+	copy(ubuf[1*cap:], s.counts)
+	copy(ubuf[2*cap:], s.eps)
+	copy(lbuf[0*cap:], s.ebkt)
+	copy(lbuf[1*cap:], s.eprev)
+	copy(lbuf[2*cap:], s.enext)
+	s.items = ubuf[0*cap : 1*cap : 1*cap]
+	s.counts = ubuf[1*cap : 2*cap : 2*cap]
+	s.eps = ubuf[2*cap:]
+	s.ebkt = lbuf[0*cap : 1*cap : 1*cap]
+	s.eprev = lbuf[1*cap : 2*cap : 2*cap]
+	s.enext = lbuf[2*cap:]
+
+	hsize := 16
+	for hsize < 2*cap {
+		hsize <<= 1
+	}
+	s.hkeys = make([]uint64, hsize)
+	s.hslot = make([]int32, hsize)
+	for i := range s.hslot {
+		s.hslot[i] = nilIdx
+	}
+	s.hmask = uint64(hsize - 1)
+	s.hshift = uint(64 - bits.TrailingZeros(uint(hsize)))
+	for e := 0; e < s.live; e++ {
+		s.hinsert(s.items[e], int32(e))
+	}
+}
+
+// growEntries doubles the entry capacity, bounded by k.
+func (s *Summary) growEntries() {
+	cap := len(s.items) * 2
+	if cap > s.k {
+		cap = s.k
+	}
+	s.growTo(cap)
+}
+
+// hfind returns the entry slot monitoring key, or nilIdx.
+func (s *Summary) hfind(key uint64) int32 {
+	i := (key * fibMul) >> s.hshift
+	for {
+		e := s.hslot[i]
+		if e == nilIdx {
+			return nilIdx
+		}
+		if s.hkeys[i] == key {
+			return e
+		}
+		i = (i + 1) & s.hmask
+	}
+}
+
+// hinsert indexes key -> slot; key must be absent.
+func (s *Summary) hinsert(key uint64, slot int32) {
+	i := (key * fibMul) >> s.hshift
+	for s.hslot[i] != nilIdx {
+		i = (i + 1) & s.hmask
+	}
+	s.hkeys[i] = key
+	s.hslot[i] = slot
+}
+
+// hdelete removes key from the index with backward-shift deletion, so
+// probe chains stay tombstone-free.
+func (s *Summary) hdelete(key uint64) {
+	mask := s.hmask
+	i := (key * fibMul) >> s.hshift
+	for {
+		if s.hslot[i] == nilIdx {
+			return
+		}
+		if s.hkeys[i] == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		if s.hslot[j] == nilIdx {
+			break
+		}
+		// Move j's occupant back to the hole iff its home position
+		// precedes the hole in probe order (the occupant stays
+		// reachable either way, but the hole must not split a chain).
+		h := (s.hkeys[j] * fibMul) >> s.hshift
+		if ((j - h) & mask) >= ((j - i) & mask) {
+			s.hkeys[i] = s.hkeys[j]
+			s.hslot[i] = s.hslot[j]
+			i = j
+		}
+	}
+	s.hslot[i] = nilIdx
 }
 
 // NewEpsilon returns a summary sized for overestimation at most eps*n,
@@ -87,7 +233,7 @@ func (s *Summary) K() int { return s.k }
 func (s *Summary) N() uint64 { return s.n }
 
 // Len returns the number of monitored items (<= K).
-func (s *Summary) Len() int { return len(s.entries) }
+func (s *Summary) Len() int { return s.live }
 
 // UnderBound returns the accumulated possible undercount: for every
 // item, f(x) <= Estimate(x).Value + UnderBound() holds for monitored
@@ -97,10 +243,10 @@ func (s *Summary) UnderBound() uint64 { return s.under }
 
 // MinCount returns the smallest monitored count (0 when empty).
 func (s *Summary) MinCount() uint64 {
-	if s.minB == nil {
+	if s.minB == nilIdx {
 		return 0
 	}
-	return s.minB.count
+	return s.bcnt[s.minB]
 }
 
 // Update adds w >= 1 occurrences of x. Unit-weight updates are O(1);
@@ -117,131 +263,171 @@ func (s *Summary) Update(x core.Item, w uint64) {
 // batch path.
 func (s *Summary) update(x core.Item, w uint64) {
 	s.n += w
-	if e, ok := s.entries[x]; ok {
+	key := uint64(x)
+	if e := s.hfind(key); e != nilIdx {
 		s.increase(e, w)
 		return
 	}
-	if len(s.entries) < s.k {
-		e := &entry{item: x, count: w}
-		s.entries[x] = e
-		s.placeFrom(s.minB, e)
+	if s.live < s.k {
+		if s.live == len(s.items) {
+			s.growEntries()
+		}
+		e := int32(s.live)
+		s.live++
+		s.items[e] = key
+		s.counts[e] = w
+		s.eps[e] = 0
+		s.hinsert(key, e)
+		s.placeFrom(s.minB, e, w)
 		return
 	}
 	// Evict the oldest entry of the minimum bucket: the incoming item
-	// inherits its count as the classic SpaceSaving overestimate.
-	victim := s.minB.head
-	minCount := s.minB.count
+	// inherits its count as the classic SpaceSaving overestimate. The
+	// victim's dense slot is reused in place.
+	vb := s.minB
+	victim := s.bhead[vb]
+	minCount := s.bcnt[vb]
 	s.unlink(victim)
-	delete(s.entries, victim.item)
-	e := &entry{item: x, count: minCount + w, eps: minCount}
-	s.entries[x] = e
-	s.placeFrom(s.minB, e)
+	s.hdelete(s.items[victim])
+	s.items[victim] = key
+	s.counts[victim] = minCount + w
+	s.eps[victim] = minCount
+	s.hinsert(key, victim)
+	s.placeFrom(s.minB, victim, minCount+w)
 }
 
 // increase moves e forward by w.
-func (s *Summary) increase(e *entry, w uint64) {
-	start := e.b
-	e.count += w
+func (s *Summary) increase(e int32, w uint64) {
+	start := s.ebkt[e]
+	cnt := s.counts[e] + w
+	s.counts[e] = cnt
 	s.unlinkKeepBucket(e, start)
 	from := start
-	if from.head == nil { // bucket emptied; start search from neighbours
+	if s.bhead[start] == nilIdx { // bucket emptied; start search from neighbours
 		from = s.removeEmptyBucket(start)
 	}
-	s.placeFrom(from, e)
+	s.placeFrom(from, e, cnt)
 }
 
-// placeFrom inserts e into the bucket with count e.count, searching
-// forward from the hint bucket (which must have count <= e.count, or be
-// nil to search from the minimum).
-func (s *Summary) placeFrom(hint *bucket, e *entry) {
+// placeFrom inserts e (with count cnt) into the bucket with that
+// count, searching forward from the hint bucket (which must not be
+// preceded by any bucket with count < cnt; nilIdx searches from the
+// minimum).
+func (s *Summary) placeFrom(hint, e int32, cnt uint64) {
 	b := hint
-	if b == nil {
+	if b == nilIdx {
 		b = s.minB
 	}
-	var after *bucket // last bucket with count < e.count
-	for b != nil && b.count < e.count {
+	after := nilIdx // last bucket with count < cnt
+	for b != nilIdx && s.bcnt[b] < cnt {
 		after = b
-		b = b.next
+		b = s.bnext[b]
 	}
-	if b != nil && b.count == e.count {
+	if b != nilIdx && s.bcnt[b] == cnt {
 		s.appendEntry(b, e)
 		return
 	}
 	// Insert a new bucket between after and b.
-	nb := &bucket{count: e.count, prev: after, next: b}
-	if after != nil {
-		after.next = nb
+	nb := s.allocBucket(cnt)
+	s.bprev[nb] = after
+	s.bnext[nb] = b
+	if after != nilIdx {
+		s.bnext[after] = nb
 	} else {
 		s.minB = nb
 	}
-	if b != nil {
-		b.prev = nb
+	if b != nilIdx {
+		s.bprev[b] = nb
 	} else {
 		s.maxB = nb
 	}
 	s.appendEntry(nb, e)
 }
 
-func (s *Summary) appendEntry(b *bucket, e *entry) {
-	e.b = b
-	e.prev = b.tail
-	e.next = nil
-	if b.tail != nil {
-		b.tail.next = e
-	} else {
-		b.head = e
+// allocBucket takes a bucket slot from the free list, or extends the
+// bucket arrays.
+func (s *Summary) allocBucket(count uint64) int32 {
+	if n := len(s.bfree); n > 0 {
+		b := s.bfree[n-1]
+		s.bfree = s.bfree[:n-1]
+		s.bcnt[b] = count
+		s.bhead[b], s.btail[b] = nilIdx, nilIdx
+		return b
 	}
-	b.tail = e
+	b := int32(len(s.bcnt))
+	s.bcnt = append(s.bcnt, count)
+	s.bhead = append(s.bhead, nilIdx)
+	s.btail = append(s.btail, nilIdx)
+	s.bprev = append(s.bprev, nilIdx)
+	s.bnext = append(s.bnext, nilIdx)
+	return b
+}
+
+func (s *Summary) appendEntry(b, e int32) {
+	t := s.btail[b]
+	s.ebkt[e] = b
+	s.eprev[e] = t
+	s.enext[e] = nilIdx
+	if t != nilIdx {
+		s.enext[t] = e
+	} else {
+		s.bhead[b] = e
+	}
+	s.btail[b] = e
 }
 
 // unlink removes e from its bucket and drops the bucket if emptied.
-func (s *Summary) unlink(e *entry) {
-	b := e.b
+func (s *Summary) unlink(e int32) {
+	b := s.ebkt[e]
 	s.unlinkKeepBucket(e, b)
-	if b.head == nil {
+	if s.bhead[b] == nilIdx {
 		s.removeEmptyBucket(b)
 	}
 }
 
-func (s *Summary) unlinkKeepBucket(e *entry, b *bucket) {
-	if e.prev != nil {
-		e.prev.next = e.next
+func (s *Summary) unlinkKeepBucket(e, b int32) {
+	p, nx := s.eprev[e], s.enext[e]
+	if p != nilIdx {
+		s.enext[p] = nx
 	} else {
-		b.head = e.next
+		s.bhead[b] = nx
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if nx != nilIdx {
+		s.eprev[nx] = p
 	} else {
-		b.tail = e.prev
+		s.btail[b] = p
 	}
-	e.prev, e.next, e.b = nil, nil, nil
+	s.eprev[e], s.enext[e], s.ebkt[e] = nilIdx, nilIdx, nilIdx
 }
 
-// removeEmptyBucket unlinks b and returns its predecessor (the new
-// search hint), which may be nil.
-func (s *Summary) removeEmptyBucket(b *bucket) *bucket {
-	if b.prev != nil {
-		b.prev.next = b.next
+// removeEmptyBucket unlinks b, recycles its slot, and returns its
+// predecessor (the new search hint), which may be nilIdx.
+func (s *Summary) removeEmptyBucket(b int32) int32 {
+	p, nx := s.bprev[b], s.bnext[b]
+	if p != nilIdx {
+		s.bnext[p] = nx
 	} else {
-		s.minB = b.next
+		s.minB = nx
 	}
-	if b.next != nil {
-		b.next.prev = b.prev
+	if nx != nilIdx {
+		s.bprev[nx] = p
 	} else {
-		s.maxB = b.prev
+		s.maxB = p
 	}
-	return b.prev
+	s.bfree = append(s.bfree, b)
+	return p
 }
 
 // Estimate answers a point query. For monitored items the interval is
 // [count−eps, count+under]; for unmonitored items [0, min+under].
 func (s *Summary) Estimate(x core.Item) core.Estimate {
-	if e, ok := s.entries[x]; ok {
+	if e := s.hfind(uint64(x)); e != nilIdx {
+		cnt, ep := s.counts[e], s.eps[e]
 		lo := uint64(0)
-		if e.count > e.eps {
-			lo = e.count - e.eps
+		if cnt > ep {
+			lo = cnt - ep
 		}
-		return core.Estimate{Value: e.count, Lower: lo, Upper: e.count + s.under}
+		return core.Estimate{Value: cnt, Lower: lo, Upper: cnt + s.under}
 	}
 	return core.Estimate{Value: 0, Lower: 0, Upper: s.MinCount() + s.under}
 }
@@ -249,11 +435,9 @@ func (s *Summary) Estimate(x core.Item) core.Estimate {
 // Counters returns the monitored (item, count) pairs in ascending count
 // order (ties by item).
 func (s *Summary) Counters() []core.Counter {
-	out := make([]core.Counter, 0, len(s.entries))
-	for b := s.minB; b != nil; b = b.next {
-		for e := b.head; e != nil; e = e.next {
-			out = append(out, core.Counter{Item: e.item, Count: e.count})
-		}
+	out := make([]core.Counter, 0, s.live)
+	for e := 0; e < s.live; e++ {
+		out = append(out, core.Counter{Item: core.Item(s.items[e]), Count: s.counts[e]})
 	}
 	core.SortCountersAsc(out)
 	return out
@@ -270,9 +454,9 @@ type CounterState struct {
 
 // States returns all counter states in ascending (count, item) order.
 func (s *Summary) States() []CounterState {
-	out := make([]CounterState, 0, len(s.entries))
-	for _, e := range s.entries {
-		out = append(out, CounterState{Item: e.item, Count: e.count, Eps: e.eps})
+	out := make([]CounterState, 0, s.live)
+	for e := 0; e < s.live; e++ {
+		out = append(out, CounterState{Item: core.Item(s.items[e]), Count: s.counts[e], Eps: s.eps[e]})
 	}
 	sortStates(out)
 	return out
@@ -293,9 +477,9 @@ func sortStates(cs []CounterState) {
 // true frequency >= threshold provided threshold > MinCount()+under.
 func (s *Summary) HeavyHitters(threshold uint64) []core.Counter {
 	var out []core.Counter
-	for _, e := range s.entries {
-		if e.count+s.under >= threshold {
-			out = append(out, core.Counter{Item: e.item, Count: e.count})
+	for e := 0; e < s.live; e++ {
+		if s.counts[e]+s.under >= threshold {
+			out = append(out, core.Counter{Item: core.Item(s.items[e]), Count: s.counts[e]})
 		}
 	}
 	core.SortCountersDesc(out)
@@ -304,37 +488,61 @@ func (s *Summary) HeavyHitters(threshold uint64) []core.Counter {
 
 // Clone returns a deep copy.
 func (s *Summary) Clone() *Summary {
-	c := New(s.k)
+	c := newSized(s.k, s.live)
 	c.n = s.n
 	c.under = s.under
 	c.rebuild(s.States())
 	return c
 }
 
-// Reset restores the summary to its freshly-constructed state.
+// Reset restores the summary to its freshly-constructed state, keeping
+// its allocations.
 func (s *Summary) Reset() {
 	s.n = 0
 	s.under = 0
-	clear(s.entries)
-	s.minB, s.maxB = nil, nil
+	s.clearStructure()
+}
+
+// clearStructure empties the entry, bucket and hash storage without
+// shrinking it. n and under are left alone.
+func (s *Summary) clearStructure() {
+	s.live = 0
+	s.minB, s.maxB = nilIdx, nilIdx
+	s.bcnt = s.bcnt[:0]
+	s.bhead = s.bhead[:0]
+	s.btail = s.btail[:0]
+	s.bprev = s.bprev[:0]
+	s.bnext = s.bnext[:0]
+	s.bfree = s.bfree[:0]
+	for i := range s.hslot {
+		s.hslot[i] = nilIdx
+	}
 }
 
 // rebuild replaces the structure contents with the given states, which
 // must be sorted ascending and fit within k.
 func (s *Summary) rebuild(states []CounterState) {
-	clear(s.entries)
-	s.minB, s.maxB = nil, nil
-	hint := (*bucket)(nil)
+	s.clearStructure()
+	if len(states) > len(s.items) {
+		s.growTo(len(states))
+	}
+	hint := nilIdx
 	for _, st := range states {
-		e := &entry{item: st.Item, count: st.Count, eps: st.Eps}
-		s.entries[st.Item] = e
-		s.placeFrom(hint, e)
-		hint = e.b
+		e := int32(s.live)
+		s.live++
+		s.items[e] = uint64(st.Item)
+		s.counts[e] = st.Count
+		s.eps[e] = st.Eps
+		s.hinsert(uint64(st.Item), e)
+		s.placeFrom(hint, e, st.Count)
+		hint = s.ebkt[e]
 	}
 }
 
 // FromStates reconstructs a summary from explicit counter states, used
-// by the codec and by tests replaying the paper's worked examples.
+// by the codec and by tests replaying the paper's worked examples. The
+// structure is sized for the given states (not k), so decoding a frame
+// allocates in proportion to the payload.
 func FromStates(k int, n, under uint64, states []CounterState) (*Summary, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("spacesaving: k must be >= 1, have %d", k)
@@ -352,7 +560,7 @@ func FromStates(k int, n, under uint64, states []CounterState) (*Summary, error)
 		}
 		seen[st.Item] = true
 	}
-	s := New(k)
+	s := newSized(k, len(states))
 	s.n = n
 	s.under = under
 	cp := make([]CounterState, len(states))
@@ -365,47 +573,59 @@ func FromStates(k int, n, under uint64, states []CounterState) (*Summary, error)
 // checkInvariants validates the internal structure; used by tests.
 func (s *Summary) checkInvariants() error {
 	seen := 0
-	var prev *bucket
-	for b := s.minB; b != nil; b = b.next {
-		if b.prev != prev {
-			return fmt.Errorf("bucket back-link broken at count %d", b.count)
+	prev := nilIdx
+	for b := s.minB; b != nilIdx; b = s.bnext[b] {
+		if s.bprev[b] != prev {
+			return fmt.Errorf("bucket back-link broken at count %d", s.bcnt[b])
 		}
-		if prev != nil && prev.count >= b.count {
-			return fmt.Errorf("buckets not ascending: %d then %d", prev.count, b.count)
+		if prev != nilIdx && s.bcnt[prev] >= s.bcnt[b] {
+			return fmt.Errorf("buckets not ascending: %d then %d", s.bcnt[prev], s.bcnt[b])
 		}
-		if b.head == nil {
-			return fmt.Errorf("empty bucket with count %d", b.count)
+		if s.bhead[b] == nilIdx {
+			return fmt.Errorf("empty bucket with count %d", s.bcnt[b])
 		}
-		var prevE *entry
-		for e := b.head; e != nil; e = e.next {
-			if e.b != b {
-				return fmt.Errorf("entry %d points to wrong bucket", e.item)
+		prevE := nilIdx
+		for e := s.bhead[b]; e != nilIdx; e = s.enext[e] {
+			if s.ebkt[e] != b {
+				return fmt.Errorf("entry %d points to wrong bucket", s.items[e])
 			}
-			if e.prev != prevE {
-				return fmt.Errorf("entry back-link broken at item %d", e.item)
+			if s.eprev[e] != prevE {
+				return fmt.Errorf("entry back-link broken at item %d", s.items[e])
 			}
-			if e.count != b.count {
-				return fmt.Errorf("entry %d count %d in bucket %d", e.item, e.count, b.count)
+			if s.counts[e] != s.bcnt[b] {
+				return fmt.Errorf("entry %d count %d in bucket %d", s.items[e], s.counts[e], s.bcnt[b])
 			}
-			if s.entries[e.item] != e {
-				return fmt.Errorf("map does not point at entry %d", e.item)
+			if int(e) >= s.live {
+				return fmt.Errorf("entry slot %d beyond live=%d", e, s.live)
+			}
+			if s.hfind(s.items[e]) != e {
+				return fmt.Errorf("hash does not resolve item %d to slot %d", s.items[e], e)
 			}
 			seen++
 			prevE = e
 		}
-		if b.tail != prevE {
-			return fmt.Errorf("bucket tail wrong at count %d", b.count)
+		if s.btail[b] != prevE {
+			return fmt.Errorf("bucket tail wrong at count %d", s.bcnt[b])
 		}
 		prev = b
 	}
 	if s.maxB != prev {
 		return fmt.Errorf("maxB wrong")
 	}
-	if seen != len(s.entries) {
-		return fmt.Errorf("bucket entries %d != map size %d", seen, len(s.entries))
+	if seen != s.live {
+		return fmt.Errorf("bucket entries %d != live %d", seen, s.live)
 	}
-	if len(s.entries) > s.k {
-		return fmt.Errorf("size %d exceeds k=%d", len(s.entries), s.k)
+	occupied := 0
+	for _, sl := range s.hslot {
+		if sl != nilIdx {
+			occupied++
+		}
+	}
+	if occupied != s.live {
+		return fmt.Errorf("hash occupancy %d != live %d", occupied, s.live)
+	}
+	if s.live > s.k {
+		return fmt.Errorf("size %d exceeds k=%d", s.live, s.k)
 	}
 	return nil
 }
