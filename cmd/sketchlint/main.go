@@ -1,24 +1,38 @@
 // Command sketchlint is the repository's static-analysis multichecker:
-// it runs the custom sketch-correctness analyzers (mergecompat,
-// locksafe, hotpathalloc, detrand, regcomplete) over every package of the module
-// and exits nonzero on any diagnostic. It is the fast inner loop of
-// `make lint` and part of `make check`.
+// it runs the custom sketch-correctness analyzers — the syntactic
+// suite (mergecompat, locksafe, hotpathalloc, detrand, regcomplete)
+// and the flow-sensitive suite (poollife, encodepure, lockflow) —
+// over every package of the module and exits nonzero on failing
+// diagnostics. It is the fast inner loop of `make lint` and part of
+// `make check`.
 //
 // Usage:
 //
-//	sketchlint [-tags sanitize] [dir ...]
+//	sketchlint [-tags sanitize] [-json] [-fail-on error|warning|none] [dir ...]
 //
 // With no arguments the whole module is checked (the "./..." of the
 // suite); testdata and result trees are skipped. Packages are loaded
 // with the sanitize build tag by default so the invariant layer is
-// linted, not its no-op stubs.
+// linted, not its no-op stubs. Each package is parsed and
+// type-checked once (the loader caches by directory) and every
+// analyzer runs over that one load; the flow analyzers additionally
+// share one flow-IR build per package.
 //
-// Exit codes: 0 clean, 1 diagnostics found, 2 load or internal error.
+// -json emits one JSON object per line ({"file","line","col",
+// "analyzer","severity","message"}) for CI consumers; -fail-on sets
+// the severity that makes the exit code nonzero (default "warning":
+// any diagnostic fails, preserving the historical behavior; "error"
+// admits warnings; "none" always exits 0 but still prints).
+//
+// Exit codes: 0 clean, 1 diagnostics at or above -fail-on, 2 load or
+// internal error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -26,9 +40,12 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/encodepure"
 	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lockflow"
 	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/mergecompat"
+	"repro/internal/analysis/poollife"
 	"repro/internal/analysis/regcomplete"
 )
 
@@ -38,11 +55,16 @@ var analyzers = []*analysis.Analyzer{
 	hotpathalloc.Analyzer,
 	detrand.Analyzer,
 	regcomplete.Analyzer,
+	poollife.Analyzer,
+	encodepure.Analyzer,
+	lockflow.Analyzer,
 }
 
 func main() {
 	tags := flag.String("tags", "sanitize", "comma-separated build tags to lint under")
 	list := flag.Bool("help-analyzers", false, "print the analyzer docs and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON, one object per line")
+	failOn := flag.String("fail-on", "warning", "lowest severity that fails the run: error, warning or none")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -50,7 +72,8 @@ func main() {
 		}
 		return
 	}
-	if err := run(flag.Args(), strings.Split(*tags, ",")); err != nil {
+	err := run(os.Stdout, flag.Args(), strings.Split(*tags, ","), *jsonOut, *failOn)
+	if err != nil {
 		if err == errDiagnostics {
 			os.Exit(1)
 		}
@@ -61,7 +84,29 @@ func main() {
 
 var errDiagnostics = fmt.Errorf("diagnostics reported")
 
-func run(args, tags []string) error {
+// jsonDiag is the -json wire shape of one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+func run(w io.Writer, args, tags []string, jsonOut bool, failOn string) error {
+	var failAt analysis.Severity
+	switch failOn {
+	case "error":
+		failAt = analysis.SeverityError
+	case "warning":
+		failAt = analysis.SeverityWarning
+	case "none":
+		failAt = analysis.Severity(-1)
+	default:
+		return fmt.Errorf("invalid -fail-on %q (want error, warning or none)", failOn)
+	}
+
 	cwd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -79,7 +124,8 @@ func run(args, tags []string) error {
 	}
 	sort.Strings(dirs)
 
-	found := false
+	enc := json.NewEncoder(w)
+	failing := false
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
@@ -99,12 +145,30 @@ func run(args, tags []string) error {
 				if rerr != nil {
 					rel = pos.Filename
 				}
-				fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
-				found = true
+				if jsonOut {
+					if err := enc.Encode(jsonDiag{
+						File:     rel,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: d.Analyzer,
+						Severity: d.Severity.String(),
+						Message:  d.Message,
+					}); err != nil {
+						return err
+					}
+				} else {
+					fmt.Fprintf(w, "%s:%d:%d: %s: %s: %s\n", rel, pos.Line, pos.Column, d.Severity, d.Analyzer, d.Message)
+				}
+				// Severities order error(0) < warning(1); a diagnostic
+				// fails the run when it is at least as severe as the
+				// threshold.
+				if failAt >= 0 && d.Severity <= failAt {
+					failing = true
+				}
 			}
 		}
 	}
-	if found {
+	if failing {
 		return errDiagnostics
 	}
 	return nil

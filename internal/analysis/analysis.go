@@ -46,11 +46,30 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
+// Severity grades a finding. Most analyzers report errors (contract
+// violations); flow analyzers downgrade perf-class findings (a pool
+// Get under a lock can miss and allocate, but cannot corrupt state)
+// to warnings, which `sketchlint -fail-on` can admit or reject.
+type Severity int
+
+const (
+	SeverityError Severity = iota
+	SeverityWarning
+)
+
+func (s Severity) String() string {
+	if s == SeverityWarning {
+		return "warning"
+	}
+	return "error"
+}
+
 // Diagnostic is one finding at a source position.
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	Severity Severity
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -74,12 +93,22 @@ type Pass struct {
 	diagnostics []Diagnostic
 }
 
-// Reportf records a finding at pos.
+// Reportf records an error-severity finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diagnostics = append(p.diagnostics, Diagnostic{
 		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Warnf records a warning-severity finding at pos.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Severity: SeverityWarning,
 	})
 }
 

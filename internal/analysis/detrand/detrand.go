@@ -12,11 +12,19 @@
 //   - seeding any RNG from the clock: time.Now (or its UnixNano
 //     chain) appearing inside the arguments of a call whose name
 //     starts with "New" or contains "Seed".
+//
+// It additionally bans — everywhere, including internal/gen, in
+// non-test files — calls to math/rand's package-level draw functions
+// (rand.Int, rand.Shuffle, rand.Seed, ...): they consume the
+// process-seeded global source even when the import itself is
+// allowed. Constructors (rand.New, rand.NewSource) stay legal; they
+// build explicitly-seeded instances.
 package detrand
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strconv"
 	"strings"
 
@@ -54,8 +62,49 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 		checkTimeSeeding(pass, f)
+		fname := pass.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(fname, "_test.go") {
+			checkGlobalRand(pass, f)
+		}
 	}
 	return nil
+}
+
+// checkGlobalRand reports calls to math/rand package-level functions
+// other than constructors: rand.Int, rand.Shuffle and friends draw
+// from the process-seeded global source, so their streams are not
+// replayable, no matter which package makes the call.
+func checkGlobalRand(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Package-level access: the selector base must be the
+		// imported package name, not a *rand.Rand instance.
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[base].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		name := sel.Sel.Name
+		if strings.HasPrefix(name, "New") {
+			return true // explicit-seed constructors are the fix, not the bug
+		}
+		pass.Reportf(call.Pos(), "call to process-seeded global rand.%s; draw from a gen.NewRNG (or rand.New) instance with an explicit seed", name)
+		return true
+	})
 }
 
 // checkTimeSeeding reports clock-derived seeds: time.Now anywhere in

@@ -1,0 +1,12 @@
+package encodepure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/encodepure"
+)
+
+func TestEncodepure(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/encodepure_a", encodepure.Analyzer)
+}

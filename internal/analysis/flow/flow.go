@@ -1,0 +1,296 @@
+// Package flow is the shared SSA-lite dataflow layer under the
+// flow-sensitive sketchlint analyzers (poollife, encodepure,
+// lockflow). It stays stdlib-only, like the analysis framework it
+// extends, and provides three things:
+//
+//   - a structured abstract interpreter (Interp) that walks a
+//     function body in execution order — forking at branches, joining
+//     at merge points, running loop bodies to a two-pass fixpoint,
+//     and applying deferred calls at every exit — so client analyzers
+//     see per-path abstract states instead of raw syntax;
+//
+//   - per-function summaries (Summary) giving one-level
+//     interprocedural facts: does a function hand out pooled values,
+//     release a parameter back to a pool, return an alias of a
+//     parameter, write its receiver, draw randomness, touch the
+//     clock, or perform a blocking/allocation-heavy operation. The
+//     summaries are computed once per package with a bounded worklist
+//     fixpoint, so in-package helper chains are folded into the facts
+//     a caller-side analyzer consults;
+//
+//   - local value numbering (client-side via Info's resolution
+//     helpers): expressions that must denote the same runtime value —
+//     an ident, its parenthesized/asserted/sliced forms, and known
+//     alias-returning methods — resolve to one root, which is what
+//     lets poollife track a pooled buffer through w.Bytes() slices
+//     and Borrow-style views.
+//
+// Everything here is deliberately conservative in the direction that
+// keeps the live tree quiet: unknown calls neither release nor alias
+// tracked values, values stored into local containers or captured by
+// non-go closures leave the tracked domain, and facts only cross
+// function boundaries through the summary table.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// Info is the flow IR of one type-checked package: the function table,
+// the summary table, and the resolution helpers every flow analyzer
+// shares. Build it with Of; it is cached per package so the three
+// analyzers pay for one construction, not three.
+type Info struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	PkgPath   string
+
+	// Funcs maps each declared function or method object to its
+	// declaration. Function literals are not entered here; the
+	// interpreter treats them as opaque values.
+	Funcs map[*types.Func]*ast.FuncDecl
+
+	// Summaries holds the per-function interprocedural facts, keyed
+	// like Funcs.
+	Summaries map[*types.Func]*Summary
+}
+
+// cache holds one Info per type-checked package. The sketchlint
+// driver runs analyzers sequentially but analysistest may run in
+// parallel subtests, so access is locked.
+var (
+	cacheMu sync.Mutex
+	cache   = map[*types.Package]*Info{}
+)
+
+// Of returns the (cached) flow IR for the pass's package.
+func Of(pass *analysis.Pass) *Info {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if in, ok := cache[pass.Pkg]; ok {
+		return in
+	}
+	in := &Info{
+		Fset:      pass.Fset,
+		Files:     pass.Files,
+		Pkg:       pass.Pkg,
+		TypesInfo: pass.TypesInfo,
+		PkgPath:   pass.PkgPath,
+		Funcs:     map[*types.Func]*ast.FuncDecl{},
+		Summaries: map[*types.Func]*Summary{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				in.Funcs[obj] = fd
+			}
+		}
+	}
+	in.buildSummaries()
+	cache[pass.Pkg] = in
+	return in
+}
+
+// Callee resolves the statically-known callee of a call expression:
+// a package-level function, a method (including generic instances),
+// or nil for builtins, function values, conversions and dynamic
+// dispatch through func-typed fields.
+func (in *Info) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := in.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// CalleeName returns the bare name of the called function or method,
+// resolving through neither summaries nor types: the syntactic name
+// used by class checks that must also work across packages ("Decode",
+// "GetScratch", "Lock").
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// RecvRoot returns the root identifier of the callee's receiver chain
+// for a method call (sel.X of the selector, unwrapped), or nil for
+// plain function calls.
+func RecvRoot(call *ast.CallExpr) *ast.Ident {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return RootIdent(sel.X)
+}
+
+// RootIdent unwraps parens, unary &/*, index, slice, selector and
+// type-assertion expressions down to the base identifier, or nil when
+// the expression is not rooted in one (a call result, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// FuncOf returns the *types.Func a call resolves to only when it is
+// declared in this package, together with its summary. One-level
+// interprocedural lookups go through here.
+func (in *Info) FuncOf(call *ast.CallExpr) (*types.Func, *Summary) {
+	fn := in.Callee(call)
+	if fn == nil {
+		return nil, nil
+	}
+	// Generic methods resolve to the instantiated object; summaries
+	// are keyed by the declared origin.
+	fn = fn.Origin()
+	sum := in.Summaries[fn]
+	return fn, sum
+}
+
+// pkgPathOf returns the import path of the package declaring fn, or
+// "" for builtins.
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// pathIs reports whether path is exactly name or ends in "/name" —
+// how the analyzers match both the real repro packages and their
+// fixture stand-ins.
+func pathIs(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// HasAnnotation reports whether the function's doc comment carries
+// the given machine annotation ("//sketch:...") on a line of its own.
+func HasAnnotation(fd *ast.FuncDecl, ann string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == ann {
+			return true
+		}
+	}
+	return false
+}
+
+// RecvIdent returns the receiver identifier of a method declaration,
+// or nil for functions and anonymous receivers.
+func RecvIdent(fd *ast.FuncDecl) *ast.Ident {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	id := fd.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// ObjOf resolves an identifier to its object through either the Defs
+// or Uses map.
+func (in *Info) ObjOf(id *ast.Ident) types.Object {
+	if obj := in.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return in.TypesInfo.Defs[id]
+}
+
+// IsMapType reports whether the expression's type is a map.
+func (in *Info) IsMapType(e ast.Expr) bool {
+	tv, ok := in.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// RecvTypePkgPath returns the import path of the package declaring
+// the method's receiver named type ("" when unresolvable). Used to
+// classify draw methods (gen.RNG) and I/O methods (net, bufio).
+func RecvTypePkgPath(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// RecvTypeName returns the bare name of the method's receiver named
+// type ("" when unresolvable).
+func RecvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil {
+		return ""
+	}
+	return named.Obj().Name()
+}

@@ -1,0 +1,12 @@
+package lockflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockflow"
+)
+
+func TestLockflow(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/lockflow_a", lockflow.Analyzer)
+}

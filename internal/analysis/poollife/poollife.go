@@ -1,0 +1,539 @@
+// Package poollife defines a flow-sensitive Analyzer that checks the
+// lifetime discipline of pooled values: buffers from codec.GetBuffer,
+// registry scratch summaries from GetScratch, and raw sync.Pool.Get
+// results.
+//
+// The pools behind the merge plane and the ingest front only pay off
+// if every Get is matched by exactly one Put on every path, and the
+// value is dead when the Put happens. poollife interprets each
+// function with the flow engine, tracking pooled values through
+// assignments, slices, Bytes()/Borrow() views and type assertions as
+// one alias group per acquisition, and reports:
+//
+//   - use of a value after it was released (use-after-Put),
+//   - releasing the same value twice (double Put),
+//   - releasing a value after an alias escaped (stored to a field,
+//     sent on a channel, captured by a goroutine),
+//   - a Get that reaches some return path without a Put, an escape, or
+//     an ownership transfer (leak).
+//
+// Values stored into local containers or captured by non-go closures
+// leave the tracked domain (the closure may complete the lifecycle);
+// returning a pooled value transfers ownership to the caller, which
+// the summary table then tracks at the call site. A function may opt
+// out with a `//sketch:poollife-ok` doc-comment line.
+package poollife
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+// Analyzer is the poollife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poollife",
+	Doc: `check pooled buffer/scratch lifetimes (use-after-Put, double Put, escaped aliases, leaks)
+
+Tracks values acquired from codec.GetBuffer, registry GetScratch and
+sync.Pool.Get through aliases on every control-flow path, and reports
+lifecycle violations that would corrupt pooled state or starve the
+pool. Opt out per function with //sketch:poollife-ok.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	in := flow.Of(pass)
+	for _, fd := range in.Funcs {
+		if flow.HasAnnotation(fd, "//sketch:poollife-ok") {
+			continue
+		}
+		c := &checker{
+			in:       in,
+			pass:     pass,
+			reported: map[string]bool{},
+			okBinds:  map[types.Object]int{},
+		}
+		ip := &flow.Interp{Client: c}
+		ip.Run(fd, newState())
+	}
+	return nil
+}
+
+// Group flags. A group with no flags is live and still owes the pool
+// a Put.
+const (
+	fReleased uint8 = 1 << iota // returned to its pool
+	fEscaped                    // alias left the function's control
+)
+
+// ginfo is one alias group's lifecycle record.
+type ginfo struct {
+	flags uint8
+	pos   token.Pos // the Get that created the group
+	name  string    // the Get's callee name, for messages
+}
+
+// state is the per-path abstract state: variable→group bindings and
+// each group's lifecycle flags.
+type state struct {
+	bind map[types.Object]int
+	g    map[int]*ginfo
+}
+
+func newState() *state {
+	return &state{bind: map[types.Object]int{}, g: map[int]*ginfo{}}
+}
+
+// checker interprets one function; it is the flow.Client.
+type checker struct {
+	in       *flow.Info
+	pass     *analysis.Pass
+	next     int
+	reported map[string]bool
+	// okBinds maps a comma-ok bool object to the group whose validity
+	// it witnesses (pooled, ok := ent.GetScratch().(*T)): the ok-false
+	// branch unlearns the group.
+	okBinds map[types.Object]int
+}
+
+func (c *checker) report(pos token.Pos, key, format string, args ...any) {
+	k := fmt.Sprintf("%d:%s", pos, key)
+	if c.reported[k] {
+		return
+	}
+	c.reported[k] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) Copy(st any) any {
+	s := st.(*state)
+	n := newState()
+	for k, v := range s.bind {
+		n.bind[k] = v
+	}
+	for k, v := range s.g {
+		cp := *v
+		n.g[k] = &cp
+	}
+	return n
+}
+
+func (c *checker) Join(a, b any) any {
+	sa, sb := a.(*state), b.(*state)
+	for gid, gb := range sb.g {
+		if ga, ok := sa.g[gid]; ok {
+			ga.flags |= gb.flags
+		} else {
+			cp := *gb
+			sa.g[gid] = &cp
+		}
+	}
+	for obj, gid := range sb.bind {
+		if _, ok := sa.bind[obj]; !ok {
+			sa.bind[obj] = gid
+		}
+	}
+	return sa
+}
+
+func (c *checker) Transfer(st any, n ast.Node) any {
+	s := st.(*state)
+	switch x := n.(type) {
+	case flow.DeferredCall:
+		c.deferred(s, x.Call)
+	case flow.RangeBind:
+		// Range elements of a pooled container are values, not
+		// aliases that could be Put; nothing to bind.
+	case *ast.AssignStmt:
+		c.assign(s, x)
+	case *ast.DeclStmt:
+		c.decl(s, x)
+	case *ast.GoStmt:
+		c.escapeAll(s, x.Call, "captured by goroutine")
+	case *ast.ReturnStmt:
+		for _, res := range x.Results {
+			c.scanExpr(s, res)
+		}
+		for _, res := range x.Results {
+			if gid, gi, ok := c.valueGroup(s, res, true); ok {
+				_ = gi
+				c.escape(s, gid)
+			}
+		}
+	case *ast.SendStmt:
+		c.scanExpr(s, x.Chan)
+		c.scanExpr(s, x.Value)
+		if gid, _, ok := c.valueGroup(s, x.Value, false); ok {
+			c.escape(s, gid)
+		}
+	case *ast.IncDecStmt:
+		c.scanExpr(s, x.X)
+	case ast.Expr:
+		c.scanExpr(s, x)
+	}
+	return s
+}
+
+func (c *checker) Refine(st any, cond ast.Expr, taken bool) any {
+	s := st.(*state)
+	switch x := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if x.Op != token.NEQ && x.Op != token.EQL {
+			return s
+		}
+		var v ast.Expr
+		switch {
+		case isNilIdent(x.Y):
+			v = x.X
+		case isNilIdent(x.X):
+			v = x.Y
+		default:
+			return s
+		}
+		// The value is nil on (== nil, taken) and (!= nil, not
+		// taken): a nil pool result was never acquired.
+		if (x.Op == token.EQL) == taken {
+			if gid, _, ok := c.valueGroup(s, v, false); ok {
+				c.untrack(s, gid)
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return c.Refine(st, x.X, !taken)
+		}
+	case *ast.Ident:
+		// ok-false: the comma-ok assertion failed, the group's value
+		// is not what we bound.
+		if obj := c.in.ObjOf(x); obj != nil && !taken {
+			if gid, ok := c.okBinds[obj]; ok {
+				c.untrack(s, gid)
+			}
+		}
+	}
+	return s
+}
+
+func (c *checker) AtExit(st any, ret *ast.ReturnStmt) {
+	s := st.(*state)
+	for gid, gi := range s.g {
+		if gi.flags == 0 {
+			c.report(gi.pos, fmt.Sprintf("leak%d", gid),
+				"pooled value from %s is not released (Put) on every return path", gi.name)
+		}
+	}
+}
+
+// assign threads bindings through an assignment after scanning the
+// right-hand side for uses and releases.
+func (c *checker) assign(s *state, x *ast.AssignStmt) {
+	for _, rhs := range x.Rhs {
+		c.scanExpr(s, rhs)
+	}
+
+	// Comma-ok over a type assertion of a pool get: track the value
+	// and remember which bool witnesses it.
+	if len(x.Lhs) == 2 && len(x.Rhs) == 1 {
+		if ta, ok := ast.Unparen(x.Rhs[0]).(*ast.TypeAssertExpr); ok {
+			if gid, _, tracked := c.valueGroup(s, ta.X, true); tracked {
+				if id, ok := x.Lhs[0].(*ast.Ident); ok {
+					if obj := c.in.ObjOf(id); obj != nil {
+						s.bind[obj] = gid
+					}
+				}
+				if id, ok := x.Lhs[1].(*ast.Ident); ok {
+					if obj := c.in.ObjOf(id); obj != nil {
+						c.okBinds[obj] = gid
+					}
+				}
+				return
+			}
+		}
+	}
+
+	if len(x.Lhs) != len(x.Rhs) {
+		// Unknown multi-return: any rebound idents leave the domain.
+		for _, lhs := range x.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := c.in.ObjOf(id); obj != nil {
+					delete(s.bind, obj)
+				}
+			}
+		}
+		return
+	}
+
+	for i, lhs := range x.Lhs {
+		gid, _, tracked := c.valueGroup(s, x.Rhs[i], true)
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			obj := c.in.ObjOf(l)
+			if obj == nil {
+				continue
+			}
+			if tracked {
+				s.bind[obj] = gid
+			} else {
+				delete(s.bind, obj)
+			}
+		case *ast.SelectorExpr:
+			// Storing a pooled value into a field publishes it
+			// beyond this function's control.
+			c.scanExpr(s, l.X)
+			if tracked {
+				c.escape(s, gid)
+			}
+		case *ast.StarExpr:
+			c.scanExpr(s, l.X)
+			if tracked {
+				c.escape(s, gid)
+			}
+		case *ast.IndexExpr:
+			// Storing into a container: the container's lifecycle
+			// takes over; stop tracking rather than guess.
+			c.scanExpr(s, l.X)
+			c.scanExpr(s, l.Index)
+			if tracked {
+				c.untrack(s, gid)
+			}
+		}
+	}
+}
+
+// decl handles `var w = codec.GetBuffer()`-style declarations.
+func (c *checker) decl(s *state, x *ast.DeclStmt) {
+	gd, ok := x.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) != len(vs.Names) {
+			continue
+		}
+		for i, name := range vs.Names {
+			c.scanExpr(s, vs.Values[i])
+			if gid, _, tracked := c.valueGroup(s, vs.Values[i], true); tracked {
+				if obj := c.in.ObjOf(name); obj != nil {
+					s.bind[obj] = gid
+				}
+			}
+		}
+	}
+}
+
+// deferred applies a deferred call at an exit: direct puts, summary
+// sinks, and puts inside a deferred closure all count as releases.
+func (c *checker) deferred(s *state, call *ast.CallExpr) {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				c.applyCall(s, inner)
+			}
+			return true
+		})
+		return
+	}
+	c.applyCall(s, call)
+}
+
+// applyCall performs the release bookkeeping of one call (direct pool
+// put or same-package sink) without scanning for uses.
+func (c *checker) applyCall(s *state, call *ast.CallExpr) bool {
+	if arg := c.in.PoolPutArg(call); arg != nil {
+		c.release(s, arg, call)
+		return true
+	}
+	if _, cs := c.in.FuncOf(call); cs != nil {
+		hit := false
+		for i, sink := range cs.SinkParams {
+			if sink && i < len(call.Args) {
+				c.release(s, call.Args[i], call)
+				hit = true
+			}
+		}
+		return hit
+	}
+	return false
+}
+
+// release marks the group denoted by arg as returned to its pool,
+// reporting double releases and releases of escaped values.
+func (c *checker) release(s *state, arg ast.Expr, call *ast.CallExpr) {
+	gid, gi, ok := c.valueGroup(s, arg, false)
+	if !ok {
+		return
+	}
+	name := types.ExprString(arg)
+	switch {
+	case gi.flags&fReleased != 0:
+		c.report(call.Pos(), "double", "double Put of pooled value %s", name)
+	case gi.flags&fEscaped != 0:
+		c.report(call.Pos(), "escput", "Put of pooled value %s after an alias escaped", name)
+	default:
+		gi.flags |= fReleased
+	}
+	_ = gid
+}
+
+// scanExpr walks an expression: releases at put calls, use-after-Put
+// at identifier uses, and domain exits at closure captures.
+func (c *checker) scanExpr(s *state, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A non-go closure may finish the lifecycle itself
+			// (release callbacks); captured values leave the domain.
+			c.untrackCaptured(s, x)
+			return false
+		case *ast.CallExpr:
+			if c.applyCall(s, x) {
+				// The put's own argument is a release, not a use;
+				// don't descend into it.
+				return false
+			}
+		case *ast.Ident:
+			c.checkUse(s, x)
+		}
+		return true
+	})
+}
+
+// checkUse reports a read of a value whose group was already released.
+func (c *checker) checkUse(s *state, id *ast.Ident) {
+	obj := c.in.ObjOf(id)
+	if obj == nil {
+		return
+	}
+	gid, ok := s.bind[obj]
+	if !ok {
+		return
+	}
+	gi, ok := s.g[gid]
+	if !ok {
+		return
+	}
+	if gi.flags&fReleased != 0 {
+		c.report(id.Pos(), "uap", "use of %s after it was released to the pool", id.Name)
+	}
+}
+
+// valueGroup resolves an expression to the alias group it denotes.
+// With create set, a direct pool get (or a call to a same-package
+// PoolSource) mints a new group.
+func (c *checker) valueGroup(s *state, e ast.Expr, create bool) (int, *ginfo, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.in.ObjOf(x); obj != nil {
+			if gid, ok := s.bind[obj]; ok {
+				if gi, ok := s.g[gid]; ok {
+					return gid, gi, true
+				}
+			}
+		}
+	case *ast.TypeAssertExpr:
+		return c.valueGroup(s, x.X, create)
+	case *ast.StarExpr:
+		return c.valueGroup(s, x.X, create)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return c.valueGroup(s, x.X, create)
+		}
+	case *ast.SliceExpr:
+		return c.valueGroup(s, x.X, create)
+	case *ast.CallExpr:
+		if create {
+			if c.in.IsDirectPoolGet(x) {
+				return c.newGroup(s, x)
+			}
+			if _, cs := c.in.FuncOf(x); cs != nil && cs.PoolSource {
+				return c.newGroup(s, x)
+			}
+		}
+		// Alias-returning views: w.Bytes(), r.Borrow(n) alias their
+		// receiver's storage.
+		name := flow.CalleeName(x)
+		if name == "Bytes" || name == "Borrow" {
+			if root := flow.RecvRoot(x); root != nil {
+				return c.valueGroup(s, root, false)
+			}
+		}
+		if _, cs := c.in.FuncOf(x); cs != nil {
+			for i, al := range cs.AliasParams {
+				if al && i < len(x.Args) {
+					if gid, gi, ok := c.valueGroup(s, x.Args[i], false); ok {
+						return gid, gi, ok
+					}
+				}
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+func (c *checker) newGroup(s *state, call *ast.CallExpr) (int, *ginfo, bool) {
+	c.next++
+	gi := &ginfo{pos: call.Pos(), name: flow.CalleeName(call)}
+	s.g[c.next] = gi
+	return c.next, gi, true
+}
+
+// escape marks a group as having left the function's control:
+// leak-free, but a later Put is a violation.
+func (c *checker) escape(s *state, gid int) {
+	if gi, ok := s.g[gid]; ok {
+		gi.flags |= fEscaped
+	}
+}
+
+// untrack removes a group and its bindings from the domain entirely.
+func (c *checker) untrack(s *state, gid int) {
+	delete(s.g, gid)
+	for obj, g := range s.bind {
+		if g == gid {
+			delete(s.bind, obj)
+		}
+	}
+}
+
+// escapeAll marks every tracked value referenced anywhere under n
+// (a go statement's call, including closure bodies) as escaped.
+func (c *checker) escapeAll(s *state, n ast.Node, _ string) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := c.in.ObjOf(id); obj != nil {
+				if gid, ok := s.bind[obj]; ok {
+					c.escape(s, gid)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// untrackCaptured drops tracked values referenced by a non-go closure.
+func (c *checker) untrackCaptured(s *state, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := c.in.ObjOf(id); obj != nil {
+				if gid, ok := s.bind[obj]; ok {
+					c.untrack(s, gid)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isNilIdent reports the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

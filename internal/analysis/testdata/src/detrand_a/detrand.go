@@ -21,6 +21,19 @@ func alsoBad(r *rand.Rand) {
 	r.Seed(time.Now().UnixNano()) // want `Seed seeded from the clock`
 }
 
+func globalDraw() int {
+	return rand.Int() // want `call to process-seeded global rand.Int`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `call to process-seeded global rand.Shuffle`
+}
+
+func instanceDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine: explicit seed
+	return r.Int()                      // instance method, not the global source
+}
+
 func goodSeed(seed uint64) *RNG {
 	return NewRNG(seed)
 }

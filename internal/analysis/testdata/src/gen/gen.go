@@ -10,3 +10,9 @@ import "math/rand"
 func FromSeed(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
+
+// lazyDraw shows the gap the global-call check closes: the import is
+// allowed here, but the global source is still process-seeded.
+func lazyDraw() int {
+	return rand.Intn(10) // want `call to process-seeded global rand.Intn`
+}

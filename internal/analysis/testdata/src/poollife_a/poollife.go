@@ -1,0 +1,145 @@
+// Package poollife_a is the poollife fixture: pooled-value lifecycle
+// violations (use-after-Put, double Put, escaped aliases, leaks) next
+// to the clean idioms the live tree relies on.
+package poollife_a
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/codec"
+)
+
+var pool sync.Pool
+
+// entry mimics the registry's scratch-pool surface: method names are
+// what poollife matches.
+type entry struct{ scratch sync.Pool }
+
+func (e *entry) GetScratch() any  { return e.scratch.Get() }
+func (e *entry) PutScratch(v any) { e.scratch.Put(v) }
+
+// holder gives escaped aliases somewhere to go.
+type holder struct{ b *codec.Buffer }
+
+// --- violations ---
+
+// useAfterPut reads a buffer after returning it to the pool.
+func useAfterPut() uint64 {
+	w := codec.GetBuffer()
+	w.Uint64(1)
+	codec.PutBuffer(w)
+	w.Uint64(2) // want `use of w after it was released to the pool`
+	return 0
+}
+
+// useAliasAfterPut reads a Bytes() view after the backing buffer was
+// released: the view aliases pooled storage.
+func useAliasAfterPut() byte {
+	w := codec.GetBuffer()
+	w.Uint64(7)
+	b := w.Bytes()
+	codec.PutBuffer(w)
+	return b[0] // want `use of b after it was released to the pool`
+}
+
+// doublePut releases the same buffer twice.
+func doublePut() {
+	w := codec.GetBuffer()
+	codec.PutBuffer(w)
+	codec.PutBuffer(w) // want `double Put of pooled value w`
+}
+
+// putEscapedField releases a buffer after publishing it through a
+// field: the reader of h.b now shares pooled storage.
+func putEscapedField(h *holder) {
+	w := codec.GetBuffer()
+	h.b = w
+	codec.PutBuffer(w) // want `Put of pooled value w after an alias escaped`
+}
+
+// putEscapedGoroutine releases a buffer a spawned goroutine still
+// captures.
+func putEscapedGoroutine(done chan struct{}) {
+	w := codec.GetBuffer()
+	go func() {
+		w.Uint64(1)
+		close(done)
+	}()
+	codec.PutBuffer(w) // want `Put of pooled value w after an alias escaped`
+}
+
+// leakOnError forgets the Put on the error path.
+func leakOnError(fail bool) error {
+	w := codec.GetBuffer() // want `pooled value from GetBuffer is not released \(Put\) on every return path`
+	w.Uint64(1)
+	if fail {
+		return errors.New("boom")
+	}
+	codec.PutBuffer(w)
+	return nil
+}
+
+// --- clean idioms ---
+
+// cleanDefer is the codec pattern: get, defer put, copy out.
+func cleanDefer() []byte {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Uint64(1)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// cleanNilRefined is the shard pattern: a raw Pool.Get that may miss,
+// refined by the nil check, recycled through an alias.
+func cleanNilRefined(n int) int {
+	var parts []int
+	if v := pool.Get(); v != nil {
+		parts = *(v.(*[]int))
+	} else {
+		parts = make([]int, 0, 8)
+	}
+	parts = parts[:0]
+	for i := 0; i < n; i++ {
+		parts = append(parts, i)
+	}
+	total := len(parts)
+	pool.Put(&parts)
+	return total
+}
+
+// cleanCommaOk is the merge-plane pattern: a scratch value guarded by
+// a comma-ok assertion; the not-ok path never acquired anything.
+func cleanCommaOk(e *entry) {
+	s, ok := e.GetScratch().(*int)
+	if !ok {
+		return
+	}
+	*s = 1
+	e.PutScratch(s)
+}
+
+// cleanTransfer hands ownership to the caller; the summary table
+// marks this function a pool source for its callers' checks.
+func cleanTransfer() *codec.Buffer {
+	w := codec.GetBuffer()
+	w.Uint64(1)
+	return w
+}
+
+// cleanClosureRelease is the combine-map pattern: the returned
+// closure owns the release, so the caller never calls Put.
+func cleanClosureRelease(e *entry) (any, func()) {
+	s := e.GetScratch()
+	return s, func() { e.PutScratch(s) }
+}
+
+// cleanContainer stores acquisitions into a container whose lifecycle
+// takes over.
+func cleanContainer(n int) []*codec.Buffer {
+	out := make([]*codec.Buffer, n)
+	for i := range out {
+		out[i] = codec.GetBuffer()
+	}
+	return out
+}

@@ -8,6 +8,14 @@ import (
 
 // MarshalBinary encodes the summary (pending inserts are flushed
 // first). It implements encoding.BinaryMarshaler.
+//
+// The flush is an idempotent canonicalization, not an impurity: the
+// buffered inserts are part of the logical state and must land in the
+// tuple list before it is serialized, and flushing twice is a no-op.
+// Callers hold exclusive access during encode (the merge plane
+// encodes under the slot lock), so the mutation cannot race.
+//
+//sketch:encodemutates
 func (s *Summary) MarshalBinary() ([]byte, error) {
 	s.flush()
 	w := codec.GetBuffer()

@@ -290,6 +290,15 @@ func (d *Digest) checkInvariants() error {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
+//
+// Compress is an idempotent canonicalization, not an impurity: the
+// q-digest invariant requires the encoded tree to be in compressed
+// form so equal logical states encode to identical bytes, and
+// compressing an already-compressed digest is a no-op. Callers hold
+// exclusive access during encode (the merge plane encodes under the
+// slot lock), so the mutation cannot race.
+//
+//sketch:encodemutates
 func (d *Digest) MarshalBinary() ([]byte, error) {
 	d.Compress()
 	w := codec.GetBuffer()

@@ -702,13 +702,16 @@ func (s *Server) cmdStat(w *bufio.Writer) {
 			continue
 		}
 		flushFront(sl)
+		// Format the row under the lock (the summary may be merged
+		// into concurrently) but write it after: the client may be
+		// slow to drain and must not stall the slot.
 		sl.mu.Lock()
+		line := fmt.Sprintf("%s - 0 0\n", name)
 		if sl.summary != nil {
-			fmt.Fprintf(w, "%s %s %d %d\n", name, sl.ent.Name(), sl.ent.N(sl.summary), sl.pushes)
-		} else {
-			fmt.Fprintf(w, "%s - 0 0\n", name)
+			line = fmt.Sprintf("%s %s %d %d\n", name, sl.ent.Name(), sl.ent.N(sl.summary), sl.pushes)
 		}
 		sl.mu.Unlock()
+		w.WriteString(line)
 	}
 }
 
