@@ -13,22 +13,42 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check lint staticcheck govulncheck vet build test race sanitize bench-smoke bench-server bench-json bench-regress fuzz clean
+.PHONY: check lint staticcheck govulncheck vet build test race sanitize bench-smoke bench-server bench-json bench-regress fuzz wire-snapshot wire-docs wire-golden clean
 
 check: vet build lint staticcheck govulncheck race sanitize bench-smoke bench-server bench-regress
 
 # Project-specific analyzers: the syntactic suite (mergecompat,
-# locksafe, hotpathalloc, detrand, regcomplete) plus the flow-
-# sensitive suite (poollife, encodepure, lockflow); any diagnostic
-# fails the build. Linting runs with the sanitize tag so the
-# invariant layer itself is analyzed. Each package is parsed and
-# type-checked once for all eight passes (the loader caches by
-# directory, the flow passes share one IR build per package), so
-# adding the dataflow suite did not slow the gate: ~3.2s wall before
-# (5 syntactic passes), ~2.7s after (8 passes, same machine) — the
-# shared load dominates and analysis time is noise.
+# locksafe, hotpathalloc, detrand, regcomplete), the flow-sensitive
+# suite (poollife, encodepure, lockflow), and the wire-schema suite
+# (wireshape symmetry proofs, wirecompat snapshot gate); any
+# diagnostic fails the build. Linting runs with the sanitize tag so
+# the invariant layer itself is analyzed. Each package is parsed and
+# type-checked once for all ten passes (the loader caches by
+# directory, the flow passes share one IR build per package), so the
+# shared load dominates and analysis time is noise (`sketchlint
+# -timing` itemizes it).
 lint:
 	$(GO) run ./cmd/sketchlint
+
+# Regenerate the committed wire-schema snapshots under
+# internal/analysis/wireshape/schemas/ from the current codecs. Run
+# this deliberately after an intentional wire-format change; the
+# wirecompat pass (part of `make lint`) fails on any breaking drift
+# between the codecs and these files. Refuses while encode/decode
+# symmetry errors are open.
+wire-snapshot:
+	$(GO) run ./cmd/sketchlint -wire-snapshot
+
+# Re-render DESIGN.md's wire-format appendix from the committed
+# schemas (between the wireshape markers).
+wire-docs:
+	$(GO) run ./cmd/sketchlint -wire-docs
+
+# Regenerate the golden wire corpus under internal/codec/testdata/
+# golden/: one committed frame per registered family. The corpus test
+# fails on any byte-level drift until this is rerun deliberately.
+wire-golden:
+	$(GO) test ./internal/codec/ -run TestGoldenCorpus -update-golden
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

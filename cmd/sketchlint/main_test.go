@@ -7,14 +7,18 @@ import (
 	"testing"
 )
 
-// TestModuleIsClean runs the full analyzer suite — syntactic and
-// flow-sensitive — over the real module, exactly as `make lint` does.
-// Any new violation of the pooled-lifetime, encode-purity or lock
-// discipline contracts fails `go test ./...`, not just CI's lint
-// step.
+func opts(jsonOut bool, failOn string) options {
+	return options{tags: []string{"sanitize"}, jsonOut: jsonOut, failOn: failOn}
+}
+
+// TestModuleIsClean runs the full analyzer suite — syntactic,
+// flow-sensitive and wire-schema — over the real module, exactly as
+// `make lint` does. Any new violation of the pooled-lifetime,
+// encode-purity, lock-discipline or wire-symmetry contracts fails
+// `go test ./...`, not just CI's lint step.
 func TestModuleIsClean(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, nil, []string{"sanitize"}, false, "warning"); err != nil {
+	if err := run(&out, nil, opts(false, "warning")); err != nil {
 		t.Fatalf("sketchlint over the module reported diagnostics:\n%s", out.String())
 	}
 	if out.Len() != 0 {
@@ -27,7 +31,7 @@ func TestModuleIsClean(t *testing.T) {
 func TestJSONOutput(t *testing.T) {
 	var out bytes.Buffer
 	dir := "../../internal/analysis/testdata/src/lockflow_a"
-	err := run(&out, []string{dir}, []string{"sanitize"}, true, "none")
+	err := run(&out, []string{dir}, opts(true, "none"))
 	if err != nil {
 		t.Fatalf("run with -fail-on none must not fail: %v", err)
 	}
@@ -58,24 +62,127 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestJSONShapePinned pins the exact -json key set: every diagnostic
+// object carries file/line/col/analyzer/severity/message and nothing
+// else, so CI consumers can rely on the shape.
+func TestJSONShapePinned(t *testing.T) {
+	var out bytes.Buffer
+	dir := "../../internal/analysis/testdata/src/lockflow_a"
+	if err := run(&out, []string{dir}, opts(true, "none")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := map[string]bool{"file": true, "line": true, "col": true, "analyzer": true, "severity": true, "message": true}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatalf("non-JSON line %q: %v", line, err)
+		}
+		if len(raw) != len(want) {
+			t.Fatalf("diagnostic has %d keys, want %d: %q", len(raw), len(want), line)
+		}
+		for k := range want {
+			if _, ok := raw[k]; !ok {
+				t.Fatalf("diagnostic missing key %q: %q", k, line)
+			}
+		}
+		for _, k := range []string{"analyzer", "severity"} {
+			if s, _ := raw[k].(string); s == "" {
+				t.Fatalf("diagnostic has empty %q: %q", k, line)
+			}
+		}
+	}
+}
+
 // TestFailOnSeverity checks the -fail-on threshold: a fixture whose
 // only findings include warnings fails at the default threshold but
 // the warnings alone do not fail at -fail-on error.
 func TestFailOnSeverity(t *testing.T) {
 	dir := "../../internal/analysis/testdata/src/lockflow_a"
 
-	if err := run(&bytes.Buffer{}, []string{dir}, []string{"sanitize"}, false, "warning"); err != errDiagnostics {
+	if err := run(&bytes.Buffer{}, []string{dir}, opts(false, "warning")); err != errDiagnostics {
 		t.Fatalf("default threshold over violation fixture: got %v, want errDiagnostics", err)
 	}
 	// The fixture has error-severity findings too, so "error" still
 	// fails; only "none" admits everything.
-	if err := run(&bytes.Buffer{}, []string{dir}, []string{"sanitize"}, false, "error"); err != errDiagnostics {
+	if err := run(&bytes.Buffer{}, []string{dir}, opts(false, "error")); err != errDiagnostics {
 		t.Fatalf("-fail-on error over fixture with errors: got %v, want errDiagnostics", err)
 	}
-	if err := run(&bytes.Buffer{}, []string{dir}, []string{"sanitize"}, false, "none"); err != nil {
+	if err := run(&bytes.Buffer{}, []string{dir}, opts(false, "none")); err != nil {
 		t.Fatalf("-fail-on none: got %v, want nil", err)
 	}
-	if err := run(&bytes.Buffer{}, nil, []string{"sanitize"}, false, "bogus"); err == nil {
+	if err := run(&bytes.Buffer{}, nil, opts(false, "bogus")); err == nil {
 		t.Fatal("invalid -fail-on value must error")
+	}
+}
+
+// TestAnalyzerSelection exercises -only and -skip: selecting only
+// lockflow still reports its findings, skipping it silences them, and
+// unknown names are errors.
+func TestAnalyzerSelection(t *testing.T) {
+	dir := "../../internal/analysis/testdata/src/lockflow_a"
+
+	var out bytes.Buffer
+	o := opts(false, "none")
+	o.only = "lockflow"
+	if err := run(&out, []string{dir}, o); err != nil {
+		t.Fatalf("-only lockflow: %v", err)
+	}
+	if !strings.Contains(out.String(), "lockflow:") {
+		t.Fatalf("-only lockflow produced no lockflow findings:\n%s", out.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.Contains(line, "lockflow:") {
+			t.Fatalf("-only lockflow leaked another analyzer's finding: %q", line)
+		}
+	}
+
+	out.Reset()
+	o = opts(false, "none")
+	o.skip = "lockflow,wirecompat"
+	if err := run(&out, []string{dir}, o); err != nil {
+		t.Fatalf("-skip: %v", err)
+	}
+	if strings.Contains(out.String(), "lockflow:") {
+		t.Fatalf("-skip lockflow still reported lockflow findings:\n%s", out.String())
+	}
+
+	o = opts(false, "none")
+	o.only = "nosuchanalyzer"
+	if err := run(&bytes.Buffer{}, []string{dir}, o); err == nil {
+		t.Fatal("-only with unknown analyzer must error")
+	}
+	o = opts(false, "none")
+	o.skip = strings.Join(analyzerNames(), ",")
+	if err := run(&bytes.Buffer{}, []string{dir}, o); err == nil {
+		t.Fatal("skipping every analyzer must error")
+	}
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// TestTiming checks -timing emits one wall-time line per selected
+// analyzer plus the load line.
+func TestTiming(t *testing.T) {
+	var out bytes.Buffer
+	dir := "../../internal/analysis/testdata/src/lockflow_a"
+	o := opts(false, "none")
+	o.only = "lockflow,poollife"
+	o.timing = true
+	if err := run(&out, []string{dir}, o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"timing: load+typecheck ", "timing: lockflow ", "timing: poollife "} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in -timing output:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "timing: detrand") {
+		t.Fatalf("-timing reported an unselected analyzer:\n%s", out.String())
 	}
 }

@@ -52,6 +52,16 @@ type Summary struct {
 	// bytes — directly or through a same-package callee.
 	MapRangeEncode bool
 
+	// WritesWire: the function appends payload bytes to a codec.Buffer
+	// (directly or through a same-package callee). The wireshape
+	// analyzer inlines same-package helpers with this fact when it
+	// extracts a codec's wire schema.
+	WritesWire bool
+
+	// ReadsWire: the function consumes payload bytes from a
+	// codec.Reader (directly or through a same-package callee).
+	ReadsWire bool
+
 	// Blocking classifies the heaviest lock-hostile operation the
 	// function performs, directly or through a same-package callee:
 	// "" (none), "decode", "I/O", "channel", "sleep" or "pool-get".
@@ -393,6 +403,15 @@ func (in *Info) classifyCall(s *Summary, call *ast.CallExpr, paramIdx map[types.
 		}
 	}
 
+	// Wire operations: payload writes to a codec.Buffer and payload
+	// reads from a codec.Reader.
+	if _, ok := in.BufferWriteOp(call); ok {
+		s.WritesWire = true
+	}
+	if _, _, ok := in.ReaderReadOp(call); ok {
+		s.ReadsWire = true
+	}
+
 	// RNG draws: draw-named methods on gen-package types, or any
 	// math/rand use.
 	if fn != nil {
@@ -480,6 +499,12 @@ func (in *Info) propagate(fn *types.Func, fd *ast.FuncDecl) bool {
 			}
 			if cs.MapRangeEncode && !s.MapRangeEncode {
 				s.MapRangeEncode, changed = true, true
+			}
+			if cs.WritesWire && !s.WritesWire {
+				s.WritesWire, changed = true, true
+			}
+			if cs.ReadsWire && !s.ReadsWire {
+				s.ReadsWire, changed = true, true
 			}
 			if cs.Blocking != "" && blockingRank[cs.Blocking] > blockingRank[s.Blocking] {
 				via := callee.Name()

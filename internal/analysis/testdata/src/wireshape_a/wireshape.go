@@ -1,0 +1,286 @@
+// Package wireshape_a is the wireshape fixture: codec pairs with
+// every asymmetry class the analyzer proves absent — width drift,
+// step-count drift, re-keyed and unvalidated loop bounds, trailing
+// length fields, unkeyed conditionals, missing Finish, unpaired
+// directions — next to a clean codec using every supported idiom.
+package wireshape_a
+
+import (
+	"errors"
+
+	"repro/internal/codec"
+)
+
+// --- clean: every supported idiom, zero diagnostics ---
+
+type clean struct {
+	flag  bool
+	k     int
+	xs    []uint64
+	cells []uint64
+	extra float64
+}
+
+func (s *clean) MarshalBinary() ([]byte, error) {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Bool(false) // discriminator
+	w.Int(s.k)
+	w.Int(len(s.xs))
+	for _, v := range s.xs {
+		w.Uint64(v)
+	}
+	for _, v := range s.cells { // column sized as k at decode
+		w.Uint64(v)
+	}
+	w.Bool(s.flag)
+	if s.flag {
+		w.Float64(s.extra)
+	}
+	return codec.EncodeFrame(codec.KindMisraGries, w.Bytes()), nil
+}
+
+func (s *clean) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindMisraGries, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	if r.Bool() {
+		return errors.New("wrong discriminator")
+	}
+	k := r.Int()
+	if k < 0 || k > 1<<20 {
+		return errors.New("bad k")
+	}
+	m := r.ArrayLen(1)
+	xs := make([]uint64, 0, m)
+	for i := 0; i < m; i++ {
+		xs = append(xs, r.Uint64())
+	}
+	cells := make([]uint64, k)
+	for i := range cells {
+		cells[i] = r.Uint64()
+	}
+	var extra float64
+	flag := r.Bool()
+	if flag {
+		extra = r.Float64()
+	}
+	if err := r.Finish(); err != nil {
+		return err
+	}
+	*s = clean{flag: flag, k: k, xs: xs, cells: cells, extra: extra}
+	return nil
+}
+
+// --- width drift: encode writes a varint, decode reads 8 bytes ---
+
+type widths struct {
+	a uint64
+	b float64
+}
+
+func (s *widths) MarshalBinary() ([]byte, error) {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Uint64(s.a)
+	w.Float64(s.b)
+	return codec.EncodeFrame(codec.KindSpaceSaving, w.Bytes()), nil
+}
+
+func (s *widths) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindSpaceSaving, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	s.a = uint64(r.Float64()) // want `field 0 \(a\): encode writes uvarint but decode reads f64`
+	s.b = float64(r.Uint64()) // want `field 1 \(b\): encode writes f64 but decode reads uvarint`
+	return r.Finish()
+}
+
+// --- step-count drift: decode reads a field encode never wrote ---
+
+type counts struct {
+	a, b uint64
+}
+
+func (s *counts) MarshalBinary() ([]byte, error) {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Uint64(s.a)
+	w.Uint64(s.b)
+	return codec.EncodeFrame(codec.KindGK, w.Bytes()), nil
+}
+
+func (s *counts) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindGK, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	s.a = r.Uint64()
+	s.b = r.Uint64()
+	_ = r.Uint64() // want `encode writes 2 wire step\(s\) at this level but decode reads 3`
+	return r.Finish()
+}
+
+// --- unvalidated loop bound: plain Int count drives allocation ---
+
+type unguarded struct {
+	xs []uint64
+}
+
+func (s *unguarded) MarshalBinary() ([]byte, error) {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Int(len(s.xs))
+	for _, v := range s.xs {
+		w.Uint64(v)
+	}
+	return codec.EncodeFrame(codec.KindCountMin, w.Bytes()), nil
+}
+
+func (s *unguarded) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindCountMin, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	m := r.Int()
+	s.xs = nil
+	for i := 0; i < m; i++ { // want `repeat 1: decode loop bound field:0 is never validated`
+		s.xs = append(s.xs, r.Uint64())
+	}
+	return r.Finish()
+}
+
+// --- re-keyed loops: the two counts swap on the decode side ---
+
+type rekeyed struct {
+	a, b []uint64
+}
+
+func (s *rekeyed) MarshalBinary() ([]byte, error) {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Int(len(s.a))
+	w.Int(len(s.b))
+	for _, v := range s.a {
+		w.Uint64(v)
+	}
+	for _, v := range s.b {
+		w.Uint64(v)
+	}
+	return codec.EncodeFrame(codec.KindCountSketch, w.Bytes()), nil
+}
+
+func (s *rekeyed) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindCountSketch, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	na := r.ArrayLen(1)
+	nb := r.ArrayLen(1)
+	s.a, s.b = nil, nil
+	for i := 0; i < nb; i++ { // want `repeat 2 re-keyed: encode loops over field:0 but decode loops over field:1`
+		s.a = append(s.a, r.Uint64())
+	}
+	for i := 0; i < na; i++ { // want `repeat 3 re-keyed: encode loops over field:1 but decode loops over field:0`
+		s.b = append(s.b, r.Uint64())
+	}
+	return r.Finish()
+}
+
+// --- trailing length: the count is written after the elements ---
+
+type trailing struct {
+	xs []uint64
+}
+
+func (s *trailing) MarshalBinary() ([]byte, error) {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	for _, v := range s.xs { // want `repeat 0: length field len\(xs\) is written after the data it bounds`
+		w.Uint64(v)
+	}
+	w.Int(len(s.xs))
+	return codec.EncodeFrame(codec.KindBottomK, w.Bytes()), nil
+}
+
+func (s *trailing) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindBottomK, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	m := r.ArrayLen(1) // want `step 0: encode is repeat over col:xs but decode is uvarint`
+	s.xs = make([]uint64, 0, m)
+	for i := 0; i < m; i++ { // want `step 1: encode is uvarint len\(xs\) but decode is repeat over field:0`
+		s.xs = append(s.xs, r.Uint64())
+	}
+	return r.Finish()
+}
+
+// --- unkeyed conditional: presence depends on state, not the wire ---
+
+type unkeyed struct {
+	flag bool
+	x    uint64
+}
+
+func (s *unkeyed) MarshalBinary() ([]byte, error) {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	if s.flag { // want `conditional wire fields are not keyed to a transferred flag byte` `encode writes 1 wire step\(s\) at this level but decode reads 0`
+		w.Uint64(s.x)
+	}
+	return codec.EncodeFrame(codec.KindRangeCount, w.Bytes()), nil
+}
+
+func (s *unkeyed) UnmarshalBinary(data []byte) error {
+	payload, err := codec.DecodeFrame(codec.KindRangeCount, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	return r.Finish()
+}
+
+// --- missing Finish: trailing bytes pass silently ---
+
+type nofinish struct {
+	x uint64
+}
+
+func (s *nofinish) MarshalBinary() ([]byte, error) {
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Uint64(s.x)
+	return codec.EncodeFrame(codec.KindKernel, w.Bytes()), nil
+}
+
+func (s *nofinish) UnmarshalBinary(data []byte) error { // want `nofinish decoder for KindKernel never calls Reader.Finish`
+	payload, err := codec.DecodeFrame(codec.KindKernel, data)
+	if err != nil {
+		return err
+	}
+	r := codec.NewReader(payload)
+	s.x = r.Uint64()
+	return r.Err()
+}
+
+// --- unpaired: an encoder whose kind nothing decodes ---
+
+type orphanenc struct {
+	x uint64
+}
+
+func (s *orphanenc) MarshalBinary() ([]byte, error) { // want `orphanenc.MarshalBinary encodes KindTopK but nothing decodes it`
+	w := codec.GetBuffer()
+	defer codec.PutBuffer(w)
+	w.Uint64(s.x)
+	return codec.EncodeFrame(codec.KindTopK, w.Bytes()), nil
+}

@@ -1,0 +1,385 @@
+// Package wireshape statically extracts the linear wire schema of
+// every summary codec — the ordered sequence of (operation, width
+// class, count-dependence) steps its MarshalBinary writes and its
+// UnmarshalBinary reads — by symbolically interpreting the codec
+// bodies over the flow engine's buffer-op summaries.
+//
+// From the two schemas per family it proves encode/decode symmetry:
+// every written field is read at the same offset with the same width
+// class, length fields are written before the data they bound, no
+// loop reads past a count that was not validated (ArrayLen, a
+// Remaining() comparison, or a range check on the bounding fields).
+// Any asymmetry is a diagnostic, which makes the one-way merge
+// guarantee of the paper safe to extend across processes: encoded
+// snapshots exchanged between merge sites decode identically
+// everywhere because the two directions of every codec are proven to
+// traverse the same byte layout.
+//
+// The proven (unified) schemas serialize to committed snapshot files
+// under schemas/<kind>.schema; the companion wirecompat analyzer
+// diffs freshly-extracted schemas against the committed ones and
+// fails on incompatible drift (field removed, reordered, narrowed,
+// loop bound re-keyed) unless the snapshot is deliberately
+// regenerated via `make wire-snapshot`. Top-level additive changes
+// are reported as warnings.
+package wireshape
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// StepKind discriminates schema tree nodes.
+type StepKind uint8
+
+const (
+	// StepField is one scalar wire field.
+	StepField StepKind = iota + 1
+	// StepRepeat is a loop over elements, bounded by a length field or
+	// an expression over header fields.
+	StepRepeat
+	// StepCond is a group of fields present only when a previously
+	// transferred byte field is nonzero (presence flags).
+	StepCond
+)
+
+// Wire width classes, mirroring flow.WireClass but owned here so the
+// serialized schema format does not depend on analyzer internals.
+const (
+	OpUvarint = "uvarint"
+	OpByte    = "byte"
+	OpF64     = "f64"
+	OpBytes   = "bytes"
+)
+
+// Step is one node of a wire schema: a scalar field, a repeat group,
+// or a conditional group. Paths identify steps positionally
+// ("0", "4", "7.1", ...): nested steps extend the parent's path.
+type Step struct {
+	Kind StepKind
+	Path string
+
+	// Field:
+	Op    string // width class: uvarint, byte, f64, bytes
+	Label string // canonical encode-side source expression ("k", "len(counters)", "c.Item")
+	IsLen bool   // the encode side wrote len(...) — a length field
+
+	// Repeat:
+	EncBound string // "field:<path>" | "col:<name>" | "expr:<text>"
+	DecBound string
+	Guard    string // "arraylen" | "remaining" | "range" | "" (unvalidated)
+
+	// Repeat and Cond bodies:
+	Body []*Step
+	Else []*Step // Cond only
+
+	// Cond:
+	Key string // "field:<path>" of the controlling byte field
+
+	// Pos is the source position of the encode-side operation (for
+	// diagnostics; not serialized).
+	Pos token.Pos
+}
+
+// Schema is the proven wire layout of one codec type.
+type Schema struct {
+	// Name is the family's registered wire name ("mg", "quantile"),
+	// falling back to the lower-cased kind constant suffix when the
+	// package has no registry.Register call for the tag.
+	Name string
+	// Tag is the codec kind constant ("KindMisraGries").
+	Tag string
+	// Type is the Go type implementing the codec ("Summary").
+	Type string
+	// Steps is the unified (symmetry-proven) step tree.
+	Steps []*Step
+	// Pos locates the encode method (for diagnostics).
+	Pos token.Pos
+}
+
+// header lines of the serialized snapshot format.
+const (
+	fileHeader    = "# wireshape wire-schema snapshot v1 — regenerate with `make wire-snapshot`; do not edit."
+	formatVersion = "wireshape/1"
+)
+
+// Marshal serializes a kind's schemas (one or more codec types
+// sharing a wire tag, e.g. randquant's Summary and Hybrid) to the
+// committed snapshot format.
+func Marshal(schemas []*Schema) []byte {
+	var b strings.Builder
+	b.WriteString(fileHeader + "\n")
+	b.WriteString("format " + formatVersion + "\n")
+	if len(schemas) > 0 {
+		b.WriteString("kind " + schemas[0].Name + "\n")
+	}
+	sorted := append([]*Schema(nil), schemas...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Type < sorted[j].Type })
+	for _, s := range sorted {
+		fmt.Fprintf(&b, "codec %s tag=%s\n", s.Type, s.Tag)
+		marshalSteps(&b, s.Steps, 1)
+	}
+	return []byte(b.String())
+}
+
+func marshalSteps(b *strings.Builder, steps []*Step, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range steps {
+		switch s.Kind {
+		case StepField:
+			b.WriteString(indent + s.Op + " " + s.Label)
+			if s.IsLen {
+				b.WriteString(" len")
+			}
+			b.WriteString("\n")
+		case StepRepeat:
+			fmt.Fprintf(b, "%srepeat enc=%s dec=%s guard=%s\n", indent, s.EncBound, s.DecBound, orDash(s.Guard))
+			marshalSteps(b, s.Body, depth+1)
+		case StepCond:
+			fmt.Fprintf(b, "%scond key=%s\n", indent, s.Key)
+			marshalSteps(b, s.Body, depth+1)
+			if len(s.Else) > 0 {
+				b.WriteString(indent + "condelse\n")
+				marshalSteps(b, s.Else, depth+1)
+			}
+		}
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Unmarshal parses a committed snapshot file back into schemas.
+func Unmarshal(data []byte) ([]*Schema, error) {
+	lines := strings.Split(string(data), "\n")
+	var (
+		kind    string
+		out     []*Schema
+		cur     *Schema
+		stack   []*[]*Step // step-list stack indexed by depth-1
+		lastTop map[int]*Step
+	)
+	lastTop = map[int]*Step{}
+	for ln, raw := range lines {
+		line := strings.TrimRight(raw, " \t")
+		if line == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		depth := 0
+		for strings.HasPrefix(line, "  ") {
+			depth++
+			line = line[2:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("schema line %d: "+format, append([]any{ln + 1}, args...)...)
+		}
+		switch fields[0] {
+		case "format":
+			if len(fields) != 2 || fields[1] != formatVersion {
+				return nil, errf("unsupported format %q", line)
+			}
+			continue
+		case "kind":
+			if len(fields) != 2 {
+				return nil, errf("malformed kind line")
+			}
+			kind = fields[1]
+			continue
+		case "codec":
+			if len(fields) != 3 || !strings.HasPrefix(fields[2], "tag=") {
+				return nil, errf("malformed codec line %q", line)
+			}
+			cur = &Schema{Name: kind, Type: fields[1], Tag: strings.TrimPrefix(fields[2], "tag=")}
+			out = append(out, cur)
+			stack = []*[]*Step{&cur.Steps}
+			continue
+		}
+		if cur == nil {
+			return nil, errf("step before codec header")
+		}
+		if depth < 1 || depth > len(stack) {
+			return nil, errf("bad indentation")
+		}
+		stack = stack[:depth] // close deeper scopes
+		list := stack[depth-1]
+		switch fields[0] {
+		case "repeat":
+			s := &Step{Kind: StepRepeat}
+			for _, f := range fields[1:] {
+				switch {
+				case strings.HasPrefix(f, "enc="):
+					s.EncBound = strings.TrimPrefix(f, "enc=")
+				case strings.HasPrefix(f, "dec="):
+					s.DecBound = strings.TrimPrefix(f, "dec=")
+				case strings.HasPrefix(f, "guard="):
+					if g := strings.TrimPrefix(f, "guard="); g != "-" {
+						s.Guard = g
+					}
+				default:
+					return nil, errf("unknown repeat attribute %q", f)
+				}
+			}
+			*list = append(*list, s)
+			stack = append(stack, &s.Body)
+			lastTop[depth] = s
+		case "cond":
+			if len(fields) != 2 || !strings.HasPrefix(fields[1], "key=") {
+				return nil, errf("malformed cond line %q", line)
+			}
+			s := &Step{Kind: StepCond, Key: strings.TrimPrefix(fields[1], "key=")}
+			*list = append(*list, s)
+			stack = append(stack, &s.Body)
+			lastTop[depth] = s
+		case "condelse":
+			prev := lastTop[depth]
+			if prev == nil || prev.Kind != StepCond {
+				return nil, errf("condelse without preceding cond")
+			}
+			stack = append(stack, &prev.Else)
+		case OpUvarint, OpByte, OpF64, OpBytes:
+			if len(fields) < 2 || len(fields) > 3 || (len(fields) == 3 && fields[2] != "len") {
+				return nil, errf("malformed field line %q", line)
+			}
+			*list = append(*list, &Step{
+				Kind:  StepField,
+				Op:    fields[0],
+				Label: fields[1],
+				IsLen: len(fields) == 3,
+			})
+		default:
+			return nil, errf("unknown step %q", fields[0])
+		}
+	}
+	setPaths(out)
+	return out, nil
+}
+
+// setPaths assigns positional paths after parsing (they are derived,
+// not serialized).
+func setPaths(schemas []*Schema) {
+	var walk func(steps []*Step, prefix string)
+	walk = func(steps []*Step, prefix string) {
+		for i, s := range steps {
+			s.Path = fmt.Sprintf("%s%d", prefix, i)
+			walk(s.Body, s.Path+".")
+			walk(s.Else, s.Path+".")
+		}
+	}
+	for _, s := range schemas {
+		walk(s.Steps, "")
+	}
+}
+
+// Change is one compatibility finding from Diff.
+type Change struct {
+	Breaking bool
+	Msg      string
+}
+
+// Diff compares the committed schema against a freshly-extracted one
+// and reports incompatibilities. Incompatible: a step removed,
+// reordered, renamed or width-narrowed; a loop bound re-keyed; a
+// decode guard weakened or dropped. Compatible-but-notable (warnings):
+// steps appended at the top level (additive evolution) and guards
+// strengthened or reclassified.
+func Diff(committed, fresh *Schema) []Change {
+	var out []Change
+	diffSteps(&out, committed.Steps, fresh.Steps, true)
+	return out
+}
+
+func diffSteps(out *[]Change, old, new []*Step, topLevel bool) {
+	n := len(old)
+	if len(new) < n {
+		n = len(new)
+	}
+	for i := 0; i < n; i++ {
+		diffStep(out, old[i], new[i])
+	}
+	switch {
+	case len(new) > len(old) && topLevel:
+		*out = append(*out, Change{Breaking: false, Msg: fmt.Sprintf(
+			"%d step(s) appended after step %s (additive; older decoders will reject the longer payload)",
+			len(new)-len(old), new[len(old)].Path)})
+	case len(new) > len(old):
+		*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+			"%d step(s) inserted at %s inside a group (changes element layout)",
+			len(new)-len(old), new[len(old)].Path)})
+	case len(new) < len(old):
+		*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+			"step %s (%s) removed from wire format", old[len(new)].Path, describe(old[len(new)]))})
+	}
+}
+
+func diffStep(out *[]Change, old, new *Step) {
+	if old.Kind != new.Kind {
+		*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+			"step %s changed shape: committed %s, now %s", old.Path, describe(old), describe(new))})
+		return
+	}
+	switch old.Kind {
+	case StepField:
+		if old.Op != new.Op {
+			*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+				"field %s (%s) changed width class: committed %s, now %s", old.Path, old.Label, old.Op, new.Op)})
+		}
+		if old.Label != new.Label {
+			*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+				"field %s changed source: committed %q, now %q (reorder or semantic change; regenerate the snapshot if deliberate)",
+				old.Path, old.Label, new.Label)})
+		}
+		if old.IsLen != new.IsLen {
+			*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+				"field %s (%s) changed length-field role", old.Path, old.Label)})
+		}
+	case StepRepeat:
+		if old.EncBound != new.EncBound || old.DecBound != new.DecBound {
+			*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+				"repeat %s re-keyed: committed enc=%s dec=%s, now enc=%s dec=%s",
+				old.Path, old.EncBound, old.DecBound, new.EncBound, new.DecBound)})
+		}
+		if old.Guard != new.Guard {
+			if new.Guard == "" {
+				*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+					"repeat %s lost its %s bound validation", old.Path, old.Guard)})
+			} else {
+				*out = append(*out, Change{Breaking: false, Msg: fmt.Sprintf(
+					"repeat %s guard changed: committed %s, now %s", old.Path, orDash(old.Guard), new.Guard)})
+			}
+		}
+		diffSteps(out, old.Body, new.Body, false)
+	case StepCond:
+		if old.Key != new.Key {
+			*out = append(*out, Change{Breaking: true, Msg: fmt.Sprintf(
+				"cond %s re-keyed: committed %s, now %s", old.Path, old.Key, new.Key)})
+		}
+		diffSteps(out, old.Body, new.Body, false)
+		diffSteps(out, old.Else, new.Else, false)
+	}
+}
+
+func describe(s *Step) string {
+	switch s.Kind {
+	case StepField:
+		return strings.TrimSpace(s.Op + " " + s.Label)
+	case StepRepeat:
+		b := s.EncBound
+		if b == "" {
+			b = s.DecBound
+		}
+		return "repeat over " + b
+	case StepCond:
+		return "cond on " + s.Key
+	}
+	return "?"
+}

@@ -1,0 +1,126 @@
+package wireshape
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WriteSnapshots serializes the extracted schemas of all packages to
+// one <kind>.schema file per wire kind under dir, pruning orphaned
+// .schema files whose kind no longer exists. It refuses to snapshot
+// while any symmetry error is open — a snapshot must be a proof, not
+// a wish. Returns the file names written or removed.
+func WriteSnapshots(dir string, results []*Result) ([]string, error) {
+	byName := map[string][]*Schema{}
+	asyms := 0
+	for _, r := range results {
+		asyms += len(r.Asyms)
+		for _, s := range r.Schemas {
+			byName[s.Name] = append(byName[s.Name], s)
+		}
+	}
+	if asyms > 0 {
+		return nil, fmt.Errorf("refusing to snapshot with %d open encode/decode symmetry error(s); run sketchlint and fix them first", asyms)
+	}
+	if len(byName) == 0 {
+		return nil, fmt.Errorf("no wire schemas extracted; nothing to snapshot")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	keep := map[string]bool{}
+	var changed []string
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		file := name + ".schema"
+		keep[file] = true
+		data := Marshal(byName[name])
+		path := filepath.Join(dir, file)
+		if old, err := os.ReadFile(path); err == nil && bytes.Equal(old, data) {
+			continue
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return nil, err
+		}
+		changed = append(changed, file)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".schema") && !keep[e.Name()] {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, err
+			}
+			changed = append(changed, e.Name()+" (removed)")
+		}
+	}
+	return changed, nil
+}
+
+// RenderDocs renders the committed schemas under dir as the DESIGN.md
+// wire-format appendix: one section per kind, the schema body shown
+// verbatim, with a legend for the step grammar. The output is
+// deterministic so `make wire-docs` is idempotent.
+func RenderDocs(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".schema") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return "", fmt.Errorf("no .schema files under %s; run `make wire-snapshot` first", dir)
+	}
+	var b strings.Builder
+	b.WriteString("All payloads ride inside the common frame (magic `MSUM`, version, kind\n")
+	b.WriteString("byte, uvarint payload length, payload, CRC32). The payload layouts\n")
+	b.WriteString("below are machine-extracted by the `wireshape` analyzer and proven\n")
+	b.WriteString("symmetric between encoder and decoder; `wirecompat` fails `make check`\n")
+	b.WriteString("on any drift from these committed snapshots.\n\n")
+	b.WriteString("Step grammar: `<width> <source-expr> [len]` is one scalar field\n")
+	b.WriteString("(`uvarint` varint, `byte`, `f64` little-endian IEEE-754, `bytes` raw\n")
+	b.WriteString("run); `len` marks an element count. `repeat enc=<b> dec=<b>\n")
+	b.WriteString("guard=<g>` is a loop over the indented steps — bounds name the\n")
+	b.WriteString("header field (`field:<path>`), summary column (`col:<name>`) or\n")
+	b.WriteString("expression that keys them, and the guard says how the decoder\n")
+	b.WriteString("validates the count (`arraylen`, `remaining`, `range`, `const`).\n")
+	b.WriteString("`cond key=field:<path>` groups fields present only when that flag\n")
+	b.WriteString("byte is nonzero.\n")
+	for _, file := range files {
+		data, err := os.ReadFile(filepath.Join(dir, file))
+		if err != nil {
+			return "", err
+		}
+		schemas, err := Unmarshal(data)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", file, err)
+		}
+		if len(schemas) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n### Kind `%s`\n", schemas[0].Name)
+		for _, s := range schemas {
+			fmt.Fprintf(&b, "\nCodec `%s` (tag `%s`):\n\n```text\n", s.Type, s.Tag)
+			var sb strings.Builder
+			marshalSteps(&sb, s.Steps, 0)
+			b.WriteString(sb.String())
+			b.WriteString("```\n")
+		}
+	}
+	return b.String(), nil
+}

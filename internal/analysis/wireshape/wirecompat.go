@@ -1,0 +1,112 @@
+package wireshape
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// SchemaDir is the directory of committed .schema snapshots the
+// wirecompat analyzer diffs against. The sketchlint driver sets it to
+// <module>/internal/analysis/wireshape/schemas; tests point it at
+// fixture directories.
+var SchemaDir string
+
+// schemaRepoDir is where the snapshots live relative to the module
+// root, for diagnostics that tell the user what to commit.
+const schemaRepoDir = "internal/analysis/wireshape/schemas"
+
+// CompatAnalyzer diffs freshly-extracted wire schemas against the
+// committed snapshots: breaking drift fails the build until the
+// snapshot is deliberately regenerated, additive drift warns.
+var CompatAnalyzer = &analysis.Analyzer{
+	Name: "wirecompat",
+	Doc: `wirecompat: gate wire-format drift against committed schema snapshots
+
+Diffs the wire schema wireshape extracts from each codec against the
+committed snapshot under ` + schemaRepoDir + `. Incompatible changes
+— a field removed, reordered, renamed or width-narrowed, a loop bound
+re-keyed, a decode guard dropped — are errors until the snapshot is
+deliberately regenerated with ` + "`make wire-snapshot`" + `; additive
+top-level evolution and guard reclassification are warnings. Codecs
+with open wireshape symmetry errors are skipped (fix symmetry first).`,
+	Run: runCompat,
+}
+
+func runCompat(pass *analysis.Pass) error {
+	res := Extract(pass)
+	if len(res.Schemas) == 0 {
+		return nil
+	}
+	if SchemaDir == "" {
+		return fmt.Errorf("wirecompat: SchemaDir not configured")
+	}
+	byName := map[string][]*Schema{}
+	for _, s := range res.Schemas {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fresh := byName[name]
+		data, err := os.ReadFile(filepath.Join(SchemaDir, name+".schema"))
+		if errors.Is(err, fs.ErrNotExist) {
+			pass.Reportf(fresh[0].Pos,
+				"no committed wire schema for kind %q: run `make wire-snapshot` and commit %s/%s.schema",
+				name, schemaRepoDir, name)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		committed, err := Unmarshal(data)
+		if err != nil {
+			return fmt.Errorf("%s.schema: %w", name, err)
+		}
+		commByType := map[string]*Schema{}
+		for _, c := range committed {
+			commByType[c.Type] = c
+		}
+		seen := map[string]bool{}
+		for _, f := range fresh {
+			seen[f.Type] = true
+			c := commByType[f.Type]
+			if c == nil {
+				pass.Warnf(f.Pos,
+					"codec %s is new for kind %q (absent from the committed schema): run `make wire-snapshot`",
+					f.Type, name)
+				continue
+			}
+			if c.Tag != f.Tag {
+				pass.Reportf(f.Pos, "codec %s changed wire tag: committed %s, now %s", f.Type, c.Tag, f.Tag)
+			}
+			for _, ch := range Diff(c, f) {
+				if ch.Breaking {
+					pass.Reportf(f.Pos,
+						"wire format of %s (kind %q) changed incompatibly vs committed snapshot: %s — regenerate deliberately with `make wire-snapshot` if intended",
+						f.Type, name, ch.Msg)
+				} else {
+					pass.Warnf(f.Pos,
+						"wire format of %s (kind %q) changed: %s — refresh the snapshot with `make wire-snapshot`",
+						f.Type, name, ch.Msg)
+				}
+			}
+		}
+		for _, c := range committed {
+			if !seen[c.Type] {
+				pass.Reportf(fresh[0].Pos,
+					"committed schema for kind %q lists codec %s, which no longer encodes it — regenerate with `make wire-snapshot` if the codec was removed deliberately",
+					name, c.Type)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+package wireshape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+// Analyzer proves encode/decode wire symmetry for every codec pair in
+// the package. See the package documentation for the model.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireshape",
+	Doc: `wireshape: prove encode/decode wire symmetry of the summary codecs
+
+Extracts the linear wire schema of every MarshalBinary /
+UnmarshalBinary pair sharing a codec kind — the ordered width-class
+steps, loops abstracted as repeat nodes keyed to their bounding length
+field — and reports any asymmetry: mismatched step counts or widths,
+a loop re-keyed to a different count, a length field written after
+the data it bounds, a decode loop whose bound is never validated
+(ArrayLen, Remaining() comparison, or range check), or a decoder that
+never calls Reader.Finish.`,
+	Run: func(pass *analysis.Pass) error {
+		res := Extract(pass)
+		for _, a := range res.Asyms {
+			pass.Reportf(a.Pos, "%s", a.Msg)
+		}
+		return nil
+	},
+}
+
+// Result is the wireshape extraction of one package: the proven
+// schemas of its symmetric codecs, and the asymmetries of the rest
+// (codecs with symmetry errors contribute no schema).
+type Result struct {
+	Schemas []*Schema
+	Asyms   []Asym
+}
+
+// Extraction is cached per package: the wireshape and wirecompat
+// analyzers (and the snapshot driver) share one symbolic walk.
+var (
+	cacheMu sync.Mutex
+	cache   = map[*types.Package]*Result{}
+)
+
+// Extract returns the (cached) wireshape extraction for the pass's
+// package.
+func Extract(pass *analysis.Pass) *Result {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if r, ok := cache[pass.Pkg]; ok {
+		return r
+	}
+	r := extractAll(flow.Of(pass))
+	cache[pass.Pkg] = r
+	return r
+}
+
+// ExtractPackage is Extract for driver code that holds a loaded
+// package rather than an analyzer pass (the wire-snapshot and
+// wire-docs modes of cmd/sketchlint).
+func ExtractPackage(pkg *analysis.Package) *Result {
+	return Extract(&analysis.Pass{
+		Analyzer:  Analyzer,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		PkgPath:   pkg.Path,
+	})
+}
+
+// codecKey pairs the two directions of one codec: a Go type encoding
+// one wire kind.
+type codecKey struct {
+	typ  string
+	kind string
+}
+
+func extractAll(in *flow.Info) *Result {
+	res := &Result{}
+	kindNames := scanRegistrations(in)
+	encs := map[codecKey]*ast.FuncDecl{}
+	decs := map[codecKey]*ast.FuncDecl{}
+	for fn, fd := range in.Funcs {
+		switch fn.Name() {
+		case "MarshalBinary":
+			if kc := frameKind(in, fd, "EncodeFrame"); kc != "" {
+				encs[codecKey{codecTypeName(fn), kc}] = fd
+			}
+		case "UnmarshalBinary", "DecodeInto":
+			if kc := frameKind(in, fd, "DecodeFrame"); kc != "" {
+				key := codecKey{codecTypeName(fn), kc}
+				// An UnmarshalBinary with the frame call wins over a
+				// DecodeInto wrapper carrying its own.
+				if prev := decs[key]; prev == nil || fd.Name.Name == "UnmarshalBinary" {
+					decs[key] = fd
+				}
+			}
+		}
+	}
+	keys := map[codecKey]bool{}
+	for k := range encs {
+		keys[k] = true
+	}
+	for k := range decs {
+		keys[k] = true
+	}
+	sorted := make([]codecKey, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].typ != sorted[j].typ {
+			return sorted[i].typ < sorted[j].typ
+		}
+		return sorted[i].kind < sorted[j].kind
+	})
+	for _, key := range sorted {
+		encFd, decFd := encs[key], decs[key]
+		switch {
+		case decFd == nil:
+			res.Asyms = append(res.Asyms, Asym{encFd.Pos(), fmt.Sprintf(
+				"%s.MarshalBinary encodes %s but nothing decodes it", key.typ, key.kind)})
+			continue
+		case encFd == nil:
+			res.Asyms = append(res.Asyms, Asym{decFd.Pos(), fmt.Sprintf(
+				"%s decodes %s but no MarshalBinary encodes it", key.typ, key.kind)})
+			continue
+		}
+		encEx := newExtractor(in, dirEncode, encFd)
+		encSteps := encEx.extract(encFd)
+		decEx := newExtractor(in, dirDecode, decFd)
+		decSteps := decEx.extract(decFd)
+		errs := append(append([]Asym{}, encEx.errs...), decEx.errs...)
+		if !callsFinish(in, decFd) {
+			errs = append(errs, Asym{decFd.Pos(), fmt.Sprintf(
+				"%s decoder for %s never calls Reader.Finish (trailing bytes would pass silently)",
+				key.typ, key.kind)})
+		}
+		checkEncOrder(encSteps, &errs)
+		unified := unifySteps(encSteps, decSteps, &errs)
+		if len(errs) > 0 {
+			res.Asyms = append(res.Asyms, errs...)
+			continue
+		}
+		name := kindNames[key.kind]
+		if name == "" {
+			name = strings.ToLower(strings.TrimPrefix(key.kind, "Kind"))
+		}
+		res.Schemas = append(res.Schemas, &Schema{
+			Name: name, Tag: key.kind, Type: key.typ, Steps: unified, Pos: encFd.Pos(),
+		})
+	}
+	return res
+}
+
+// --- unification: the symmetry proof ---
+
+// unifySteps merges the encode and decode step trees into one proven
+// schema, reporting every asymmetry: the two sides must agree on step
+// count, kind and width class; loops keyed to header fields must be
+// keyed to the same field; decode loop bounds must be validated.
+func unifySteps(enc, dec []*Step, errs *[]Asym) []*Step {
+	if len(enc) != len(dec) {
+		*errs = append(*errs, Asym{extraStepPos(enc, dec), fmt.Sprintf(
+			"encode writes %d wire step(s) at this level but decode reads %d", len(enc), len(dec))})
+	}
+	var out []*Step
+	for i := 0; i < len(enc) && i < len(dec); i++ {
+		e, d := enc[i], dec[i]
+		if e.Kind != d.Kind {
+			*errs = append(*errs, Asym{posOf(e, d), fmt.Sprintf(
+				"step %s: encode is %s but decode is %s", e.Path, describe(e), describe(d))})
+			continue
+		}
+		u := &Step{Kind: e.Kind, Path: e.Path, Pos: e.Pos}
+		switch e.Kind {
+		case StepField:
+			if e.Op != d.Op {
+				*errs = append(*errs, Asym{posOf(e, d), fmt.Sprintf(
+					"field %s (%s): encode writes %s but decode reads %s", e.Path, e.Label, e.Op, d.Op)})
+			}
+			u.Op, u.Label, u.IsLen = e.Op, e.Label, e.IsLen
+		case StepRepeat:
+			// Bounds from the same category must agree exactly (a
+			// field-bounded loop re-keyed to a different header field
+			// is the classic truncation bug); cross-category pairs
+			// (encode ranges a column, decode counts a field) are
+			// legal — the golden round-trip covers their equality.
+			if boundCat(e.EncBound) == boundCat(d.DecBound) && e.EncBound != d.DecBound {
+				*errs = append(*errs, Asym{posOf(e, d), fmt.Sprintf(
+					"repeat %s re-keyed: encode loops over %s but decode loops over %s",
+					e.Path, e.EncBound, d.DecBound)})
+			}
+			if d.Guard == "" {
+				*errs = append(*errs, Asym{posOf(e, d), fmt.Sprintf(
+					"repeat %s: decode loop bound %s is never validated (need ArrayLen, a Remaining() comparison, or a range check on its fields)",
+					e.Path, d.DecBound)})
+			}
+			u.EncBound, u.DecBound, u.Guard = e.EncBound, d.DecBound, d.Guard
+			u.Body = unifySteps(e.Body, d.Body, errs)
+		case StepCond:
+			if e.Key != d.Key {
+				*errs = append(*errs, Asym{posOf(e, d), fmt.Sprintf(
+					"cond %s keyed to different flag fields: encode %s, decode %s", e.Path, e.Key, d.Key)})
+			}
+			u.Key = e.Key
+			u.Body = unifySteps(e.Body, d.Body, errs)
+			u.Else = unifySteps(e.Else, d.Else, errs)
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// checkEncOrder verifies length fields are written before the data
+// they bound: a col-bounded encode loop whose collection's len(...)
+// appears later at the same level wrote the count after the elements.
+func checkEncOrder(steps []*Step, errs *[]Asym) {
+	for i, s := range steps {
+		switch s.Kind {
+		case StepRepeat:
+			if name, ok := strings.CutPrefix(s.EncBound, "col:"); ok {
+				for _, later := range steps[i+1:] {
+					if later.Kind == StepField && later.IsLen && later.Label == "len("+name+")" {
+						*errs = append(*errs, Asym{s.Pos, fmt.Sprintf(
+							"repeat %s: length field %s is written after the data it bounds", s.Path, later.Label)})
+					}
+				}
+			}
+			checkEncOrder(s.Body, errs)
+		case StepCond:
+			checkEncOrder(s.Body, errs)
+			checkEncOrder(s.Else, errs)
+		}
+	}
+}
+
+func extraStepPos(enc, dec []*Step) token.Pos {
+	if len(enc) > len(dec) {
+		return enc[len(dec)].Pos
+	}
+	return dec[len(enc)].Pos
+}
+
+func posOf(e, d *Step) token.Pos {
+	if d.Pos.IsValid() {
+		return d.Pos
+	}
+	return e.Pos
+}
+
+func boundCat(b string) string {
+	if i := strings.Index(b, ":"); i >= 0 {
+		return b[:i]
+	}
+	return b
+}
+
+// --- codec discovery ---
+
+// frameKind returns the codec kind constant the body passes to
+// codec.EncodeFrame / codec.DecodeFrame, or "" when there is none —
+// which is what qualifies a method as one side of a codec.
+func frameKind(in *flow.Info, fd *ast.FuncDecl, fname string) string {
+	kind := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || flow.CalleeName(call) != fname || len(call.Args) < 1 {
+			return true
+		}
+		fn := in.Callee(call)
+		if fn == nil || fn.Pkg() == nil || !pathIsSuffix(fn.Pkg().Path(), "codec") {
+			return true
+		}
+		kind = kindConstName(call.Args[0])
+		return false
+	})
+	return kind
+}
+
+// codecTypeName names the Go type a codec method belongs to: the
+// receiver's named type, or the first pointer parameter's for
+// package-level DecodeInto functions.
+func codecTypeName(fn *types.Func) string {
+	if n := flow.RecvTypeName(fn); n != "" {
+		return n
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return ""
+	}
+	t := sig.Params().At(0).Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// scanRegistrations maps codec kind constants to their registered
+// wire names by reading the package's registry.Register calls.
+func scanRegistrations(in *flow.Info) map[string]string {
+	names := map[string]string{}
+	for _, f := range in.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			fun := ast.Unparen(call.Fun)
+			if ix, ok := fun.(*ast.IndexExpr); ok { // Register[T](...)
+				fun = ast.Unparen(ix.X)
+			}
+			sel, ok := fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Register" {
+				return true
+			}
+			fn, _ := in.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || !pathIsSuffix(fn.Pkg().Path(), "registry") {
+				return true
+			}
+			kc := kindConstName(call.Args[0])
+			lit, isLit := ast.Unparen(call.Args[1]).(*ast.BasicLit)
+			if kc == "" || !isLit {
+				return true
+			}
+			if name, err := strconv.Unquote(lit.Value); err == nil {
+				names[kc] = name
+			}
+			return true
+		})
+	}
+	return names
+}
+
+func kindConstName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.Ident:
+		return x.Name
+	}
+	return ""
+}
+
+func callsFinish(in *flow.Info, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && in.IsReaderCall(call, "Finish") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func pathIsSuffix(path, name string) bool {
+	return path == name || strings.HasSuffix(path, "/"+name)
+}

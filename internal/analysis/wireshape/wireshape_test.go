@@ -1,0 +1,228 @@
+package wireshape_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireshape"
+)
+
+// TestWireshapeFixture runs the symmetry analyzer over a fixture
+// package containing one codec per asymmetry class (width drift,
+// step-count drift, re-keyed and unvalidated loop bounds, trailing
+// length fields, unkeyed conditionals, missing Finish, unpaired
+// encoders) next to a clean codec that exercises every supported
+// idiom and must stay silent.
+func TestWireshapeFixture(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/wireshape_a", wireshape.Analyzer)
+}
+
+// TestExtractRealModule extracts schemas from the real codec packages
+// and checks every registered family produced one, with no open
+// asymmetries anywhere in the module.
+func TestExtractRealModule(t *testing.T) {
+	loader, err := analysis.NewLoader("..", "sanitize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.ModulePackageDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schemas []*wireshape.Schema
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		res := wireshape.ExtractPackage(pkg)
+		for _, a := range res.Asyms {
+			t.Errorf("%s: unexpected asymmetry: %s", dir, a.Msg)
+		}
+		schemas = append(schemas, res.Schemas...)
+	}
+	byKind := map[string]int{}
+	for _, s := range schemas {
+		byKind[s.Name]++
+	}
+	for _, kind := range []string{
+		"mg", "ss", "gk", "countmin", "countsketch", "kmv", "hll",
+		"rangecount", "kernel", "quantile", "bottomk", "qdigest", "topk",
+	} {
+		if byKind[kind] == 0 {
+			t.Errorf("no schema extracted for registered kind %q", kind)
+		}
+	}
+}
+
+// TestSchemaRoundTrip re-parses every committed schema and checks the
+// reserialized form agrees byte-for-byte.
+func TestSchemaRoundTrip(t *testing.T) {
+	entries, err := os.ReadDir("schemas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".schema") {
+			continue
+		}
+		n++
+		raw, err := os.ReadFile(filepath.Join("schemas", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemas, err := wireshape.Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		again := wireshape.Marshal(schemas)
+		if string(again) != string(raw) {
+			t.Errorf("%s: marshal(unmarshal(x)) != x:\n--- committed\n%s\n--- reserialized\n%s",
+				e.Name(), raw, again)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no committed schemas found — run `make wire-snapshot`")
+	}
+}
+
+const baseSchema = `format wireshape/1
+kind mg
+codec Summary tag=KindMisraGries
+  uvarint k
+  uvarint len(cs) len
+  repeat enc=field:1 dec=field:1 guard=arraylen
+    uvarint c.Item
+    uvarint c.Count
+`
+
+func parseOne(t *testing.T, text string) *wireshape.Schema {
+	t.Helper()
+	schemas, err := wireshape.Unmarshal([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemas) != 1 {
+		t.Fatalf("parsed %d codecs, want 1", len(schemas))
+	}
+	return schemas[0]
+}
+
+// TestDiffClassification pins which edits count as breaking and which
+// are warnings: reorders, width changes, mid-stream insertions and
+// dropped guards break; trailing additions and guard reclassification
+// only warn.
+func TestDiffClassification(t *testing.T) {
+	replace := func(old, new string) string {
+		s := strings.Replace(baseSchema, old, new, 1)
+		if s == baseSchema {
+			t.Fatalf("edit %q not applied", new)
+		}
+		return s
+	}
+	cases := []struct {
+		name, fresh string
+		breaking    bool
+		wantChanges bool
+	}{
+		{"identical", baseSchema, false, false},
+		{"reordered fields", replace(
+			"  uvarint k\n  uvarint len(cs) len",
+			"  uvarint len(cs) len\n  uvarint k"), true, true},
+		{"narrowed width", replace("uvarint k", "byte k"), true, true},
+		{"dropped length guard", replace("guard=arraylen", "guard=-"), true, true},
+		{"changed guard kind", replace("guard=arraylen", "guard=range"), false, true},
+		{"trailing addition", baseSchema + "  f64 decay\n", false, true},
+		{"mid-stream insertion", replace(
+			"  uvarint k\n", "  uvarint k\n  f64 decay\n"), true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			changes := wireshape.Diff(parseOne(t, baseSchema), parseOne(t, tc.fresh))
+			if !tc.wantChanges {
+				if len(changes) != 0 {
+					t.Fatalf("identical schemas diffed: %+v", changes)
+				}
+				return
+			}
+			if len(changes) == 0 {
+				t.Fatal("expected at least one change")
+			}
+			var breaking bool
+			for _, ch := range changes {
+				if ch.Breaking {
+					breaking = true
+				}
+			}
+			if breaking != tc.breaking {
+				t.Fatalf("breaking=%v, want %v; changes: %+v", breaking, tc.breaking, changes)
+			}
+		})
+	}
+}
+
+// TestSnapshotRefusesAsymmetries checks WriteSnapshots refuses while
+// symmetry errors are open, so a broken codec can never overwrite the
+// committed contract.
+func TestSnapshotRefusesAsymmetries(t *testing.T) {
+	res := &wireshape.Result{Asyms: []wireshape.Asym{{Msg: "boom"}}}
+	if _, err := wireshape.WriteSnapshots(t.TempDir(), []*wireshape.Result{res}); err == nil {
+		t.Fatal("WriteSnapshots must refuse while asymmetries are open")
+	}
+}
+
+// TestSnapshotWriteAndPrune checks snapshot generation writes one file
+// per kind, is idempotent, and prunes schemas whose kind disappeared.
+func TestSnapshotWriteAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	res := &wireshape.Result{Schemas: []*wireshape.Schema{
+		{Name: "mg", Tag: "KindMisraGries", Type: "Summary",
+			Steps: []*wireshape.Step{{Kind: wireshape.StepField, Op: wireshape.OpUvarint, Label: "k"}}},
+	}}
+	changed, err := wireshape.WriteSnapshots(dir, []*wireshape.Result{res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != "mg.schema" {
+		t.Fatalf("changed = %v, want [mg.schema]", changed)
+	}
+	changed, err = wireshape.WriteSnapshots(dir, []*wireshape.Result{res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("second snapshot not idempotent: %v", changed)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stale.schema"), []byte("format wireshape/1\nkind stale\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	changed, err = wireshape.WriteSnapshots(dir, []*wireshape.Result{res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || !strings.Contains(changed[0], "stale.schema") {
+		t.Fatalf("stale schema not pruned: %v", changed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stale.schema")); !os.IsNotExist(err) {
+		t.Fatal("stale.schema still on disk after prune")
+	}
+}
+
+// TestRenderDocs checks the generated appendix mentions every
+// committed kind and the step grammar.
+func TestRenderDocs(t *testing.T) {
+	text, err := wireshape.RenderDocs("schemas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### Kind `mg`", "### Kind `quantile`", "repeat", "uvarint"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered docs missing %q", want)
+		}
+	}
+}
