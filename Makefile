@@ -93,8 +93,9 @@ bench-server:
 	$(GO) test -run='^$$' -bench=Server -benchtime=1x ./internal/server/
 
 # Full measurement: regenerates results/bench.json (per-item vs batch
-# ns/op for every family, server push/pull/merge throughput at 1-16
-# clients, and mergetree.Parallel worker scaling).
+# ns/op for every family, windowed query latency ladder-vs-flat, server
+# push/pull/merge throughput at 1-16 clients, and mergetree.Parallel
+# worker scaling).
 bench-json:
 	$(GO) run ./cmd/bench -out results/bench.json
 
@@ -102,7 +103,9 @@ bench-json:
 # if any family's batch path regressed more than 10% (or started
 # allocating) against the committed results/bench.json. Two runs,
 # gated on the per-family minimum: noise on a shared builder only ever
-# slows a run down, so the min estimates the true cost. Regenerate the
+# slows a run down, so the min estimates the true cost. The windowed
+# query plane gates alongside: the ladder must stay >= 5x faster than
+# the flat per-epoch plan at windows of 256+ epochs. Regenerate the
 # baseline with `make bench-json` when the benchmark machine changes.
 bench-regress:
 	$(GO) run ./cmd/bench -families-only -out /tmp/bench-fresh-1.json

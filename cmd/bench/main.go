@@ -40,6 +40,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/window"
 )
 
 const (
@@ -101,6 +102,29 @@ type mergeScalePoint struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// windowPoint is one window-length query-latency measurement: the
+// multi-resolution ladder plan vs the flat per-epoch plan over the
+// same sealed epoch range, with roll-up segments precomputed and the
+// query-result cache off, so the numbers isolate plan + decode +
+// merge + encode cost.
+type windowPoint struct {
+	Window       uint64  `json:"window_epochs"`
+	LadderNs     float64 `json:"ladder_ns_per_query"`
+	FlatNs       float64 `json:"flat_ns_per_query"`
+	LadderPieces int     `json:"ladder_cover_pieces"`
+	FlatPieces   int     `json:"flat_cover_pieces"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// windowReport is the roll-up plane's query-latency series.
+type windowReport struct {
+	Family string        `json:"family"`
+	Fan    int           `json:"fan"`
+	Levels int           `json:"levels"`
+	Epochs uint64        `json:"epochs"`
+	Points []windowPoint `json:"points"`
+}
+
 type report struct {
 	Schema       int               `json:"schema"`
 	Go           string            `json:"go"`
@@ -110,6 +134,7 @@ type report struct {
 	BatchLen     int               `json:"batch_len"`
 	StreamLen    int               `json:"stream_len"`
 	Families     []familyResult    `json:"families"`
+	Window       *windowReport     `json:"window,omitempty"`
 	Server       *serverReport     `json:"server,omitempty"`
 	ServerKinds  []kindPoint       `json:"server_kinds,omitempty"`
 	MergeScaling []mergeScalePoint `json:"merge_scaling,omitempty"`
@@ -453,6 +478,92 @@ func serverKindSeries(clients int, dur time.Duration) ([]kindPoint, error) {
 	return out, nil
 }
 
+// windowSeries measures the roll-up plane's query latency against
+// window length, ladder plan (the default 8×3 shape) vs flat
+// per-epoch plan over the same plane (SetMaxLevel(0), the roll-ups-off
+// baseline). The mg family keeps frames small, so the measured gap is
+// cover size — O(log n) precomputed segments vs O(n) per-epoch decodes
+// and merges — not codec weight. The series runs in -families-only
+// mode: the ladder speedup at long windows is a gated number.
+func windowSeries(benchtime time.Duration) (*windowReport, error) {
+	ent, ok := registry.ByName("mg")
+	if !ok {
+		return nil, fmt.Errorf("mg not registered")
+	}
+	const (
+		fan    = 8
+		levels = 3
+		epochs = 1024
+	)
+	noEvict := make([]uint64, levels)
+	for i := range noEvict {
+		noEvict[i] = 1 << 30
+	}
+	p, err := window.NewPlane(ent, nil, window.Ladder{Fan: fan, Levels: levels, Horizon: noEvict})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	for e := 0; e < epochs; e++ {
+		if _, err := p.Absorb(ent.Example(64)); err != nil {
+			return nil, err
+		}
+		if err := p.Advance(); err != nil {
+			return nil, err
+		}
+	}
+	p.Quiesce()
+	p.SetQueryCache(false)
+
+	flag.Set("test.benchtime", benchtime.String())
+	measure := func(from, to uint64) (float64, int, error) {
+		cov, err := p.Cover(from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		var qErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.QueryEncoded(from, to); err != nil {
+					qErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if qErr != nil {
+			return 0, 0, qErr
+		}
+		return float64(r.T.Nanoseconds()) / float64(r.N), len(cov.Segments), nil
+	}
+
+	rep := &windowReport{Family: ent.Name(), Fan: fan, Levels: levels, Epochs: epochs}
+	for _, w := range []uint64{16, 64, 256, 1024} {
+		from, to := uint64(epochs)-w+1, uint64(epochs)
+		p.SetMaxLevel(-1)
+		ladderNs, ladderPieces, err := measure(from, to)
+		if err != nil {
+			return nil, fmt.Errorf("window=%d ladder: %w", w, err)
+		}
+		p.SetMaxLevel(0)
+		flatNs, flatPieces, err := measure(from, to)
+		p.SetMaxLevel(-1)
+		if err != nil {
+			return nil, fmt.Errorf("window=%d flat: %w", w, err)
+		}
+		pt := windowPoint{
+			Window: w, LadderNs: ladderNs, FlatNs: flatNs,
+			LadderPieces: ladderPieces, FlatPieces: flatPieces,
+		}
+		if ladderNs > 0 {
+			pt.Speedup = flatNs / ladderNs
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("window/W=%-5d ladder %10.0f ns/query (%2d pieces)  flat %10.0f ns/query (%4d pieces)  speedup %.2fx\n",
+			w, ladderNs, ladderPieces, flatNs, flatPieces, pt.Speedup)
+	}
+	return rep, nil
+}
+
 // mergeScalingSeries times mergetree.Parallel over a fixed 128-part
 // Count-Min set (pure cell-wise CPU work) at each worker count,
 // cloning the parts outside the timed region because Parallel
@@ -622,7 +733,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     3,
+		Schema:     4,
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -643,6 +754,15 @@ func main() {
 		fmt.Printf("%-24s per-item %8.2f ns/op  batch %8.2f ns/op  speedup %.2fx\n",
 			w.family, item.NsPerOp, batch.NsPerOp, fr.Speedup)
 	}
+
+	// The window series runs in every mode: its long-window speedup is
+	// one of the regression-gated numbers.
+	win, err := windowSeries(*benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench: window series:", err)
+		os.Exit(1)
+	}
+	rep.Window = win
 
 	if !*familiesOnly {
 		srv, err := serverWorkloads([]int{1, 2, 4, 8, 16}, *serverDur)

@@ -19,6 +19,13 @@
 // breaks the gate. Allocation counts gate exactly: a batch path that
 // starts allocating where the baseline did not is a regression
 // regardless of speed.
+//
+// When the baseline carries a window section (schema 4), the roll-up
+// query plane gates too: for every baseline point with window length
+// ≥ -window-min epochs, the best ladder-vs-flat speedup across the
+// fresh runs must stay at or above -window-floor (default 5x). The
+// floor is deliberately far below the measured ratios — it trips on
+// "the planner stopped using coarse segments", not on machine noise.
 package main
 
 import (
@@ -40,45 +47,62 @@ type familyResult struct {
 	Batch   pathResult `json:"batch"`
 }
 
+type windowPoint struct {
+	Window  uint64  `json:"window_epochs"`
+	Speedup float64 `json:"speedup"`
+}
+
+type windowReport struct {
+	Points []windowPoint `json:"points"`
+}
+
 type report struct {
 	Schema   int            `json:"schema"`
 	Families []familyResult `json:"families"`
+	Window   *windowReport  `json:"window"`
 }
 
-func load(path string) (map[string]familyResult, int, error) {
+func load(path string) (map[string]familyResult, *windowReport, int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	var r report
 	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, 0, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
 	out := make(map[string]familyResult, len(r.Families))
 	for _, f := range r.Families {
 		out[f.Family] = f
 	}
-	return out, r.Schema, nil
+	return out, r.Window, r.Schema, nil
 }
 
 func main() {
 	baseline := flag.String("baseline", "results/bench.json", "committed baseline report")
 	fresh := flag.String("fresh", "", "comma-separated freshly measured reports (required); gates on the per-family min ns/op")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional batch ns/op regression per family")
+	windowFloor := flag.Float64("window-floor", 5.0, "minimum ladder-vs-flat window query speedup at long windows")
+	windowMin := flag.Uint64("window-min", 256, "window length (epochs) at and above which -window-floor gates")
 	flag.Parse()
 	if *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchregress: -fresh is required")
 		os.Exit(2)
 	}
 
-	base, baseSchema, err := load(*baseline)
+	base, baseWin, baseSchema, err := load(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
 		os.Exit(2)
 	}
 	cur := make(map[string]familyResult)
+	// Best (max) speedup per window length across fresh runs: noise only
+	// ever drags a ladder query toward flat, so the max estimates the
+	// true ratio the same way min ns/op estimates the true cost.
+	winBest := make(map[uint64]float64)
+	freshHasWindow := false
 	for _, path := range strings.Split(*fresh, ",") {
-		run, curSchema, err := load(path)
+		run, runWin, curSchema, err := load(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchregress: %v\n", err)
 			os.Exit(2)
@@ -93,6 +117,14 @@ func main() {
 					f.Batch.AllocsPerOp = best.Batch.AllocsPerOp
 				}
 				cur[name] = f
+			}
+		}
+		if runWin != nil {
+			freshHasWindow = true
+			for _, p := range runWin.Points {
+				if p.Speedup > winBest[p.Window] {
+					winBest[p.Window] = p.Speedup
+				}
 			}
 		}
 	}
@@ -126,13 +158,44 @@ func main() {
 			fmt.Printf("skip: %-28s not in baseline (new family)\n", name)
 		}
 	}
+	// Window query-plane gate: the ladder must keep beating the flat
+	// per-epoch plan by at least -window-floor at long windows. A
+	// baseline with a window section and a fresh report without one
+	// means the series silently stopped running — that fails too.
+	winGated := 0
+	switch {
+	case baseWin == nil && !freshHasWindow:
+		// Pre-window baseline against pre-window fresh runs: nothing to gate.
+	case !freshHasWindow:
+		failed++
+		fmt.Printf("FAIL: window series in baseline but missing from every fresh report\n")
+	default:
+		for _, p := range baseWin.Points {
+			if p.Window < *windowMin {
+				continue
+			}
+			got, ok := winBest[p.Window]
+			if !ok {
+				failed++
+				fmt.Printf("FAIL: window W=%-5d in baseline but not in fresh reports\n", p.Window)
+				continue
+			}
+			winGated++
+			if got < *windowFloor {
+				failed++
+				fmt.Printf("FAIL: window W=%-5d ladder speedup %.2fx (floor %.1fx)\n", p.Window, got, *windowFloor)
+			} else {
+				fmt.Printf("ok:   window W=%-5d ladder speedup %.2fx (floor %.1fx)\n", p.Window, got, *windowFloor)
+			}
+		}
+	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchregress: no families in common; refusing to pass vacuously")
 		os.Exit(1)
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchregress: %d/%d families regressed\n", failed, compared)
+		fmt.Fprintf(os.Stderr, "benchregress: %d checks failed (%d families compared, %d window points gated)\n", failed, compared, winGated)
 		os.Exit(1)
 	}
-	fmt.Printf("benchregress: %d families within %.0f%% of baseline\n", compared, *tolerance*100)
+	fmt.Printf("benchregress: %d families within %.0f%% of baseline, %d window points above %.1fx\n", compared, *tolerance*100, winGated, *windowFloor)
 }

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	summaryd [-addr 127.0.0.1:7070]
+//	summaryd [-addr 127.0.0.1:7070] [-window] [-window-tick 1s]
+//	         [-window-fan 8] [-window-levels 3]
+//
+// -window enables the multi-resolution roll-up plane: every slot's
+// pushes additionally feed a ladder of sealed per-epoch segments
+// (epochs tick every -window-tick; a level-ℓ segment covers
+// fan^ℓ epochs) and the QWIN command answers time-travel queries over
+// any epoch range from the minimal precomputed-segment cover.
 //
 // Protocol documentation lives in internal/server. A quick session
 // with netcat:
@@ -25,6 +32,7 @@ import (
 
 	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/window"
 )
 
 func main() {
@@ -32,6 +40,10 @@ func main() {
 	kinds := flag.Bool("kinds", false, "print the served summary kinds and exit")
 	front := flag.Int("front", 0, "ingest-front lanes for PUSHB (0 = off, -1 = GOMAXPROCS)")
 	frontTick := flag.Duration("front-tick", 5*time.Millisecond, "ingest-front flush interval")
+	win := flag.Bool("window", false, "enable windowed mode: per-slot roll-up planes and QWIN")
+	winTick := flag.Duration("window-tick", time.Second, "windowed-mode epoch length")
+	winFan := flag.Int("window-fan", 8, "roll-up fan-in (epochs per next-level segment)")
+	winLevels := flag.Int("window-levels", 3, "roll-up ladder levels (1 = flat per-epoch ring)")
 	flag.Parse()
 
 	if *kinds {
@@ -44,6 +56,9 @@ func main() {
 	s := server.New()
 	if *front != 0 {
 		s.SetIngestFront(*front, *frontTick)
+	}
+	if *win {
+		s.SetWindow(window.Ladder{Fan: *winFan, Levels: *winLevels}, *winTick)
 	}
 	bound, err := s.Listen(*addr)
 	if err != nil {

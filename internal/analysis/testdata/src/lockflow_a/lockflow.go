@@ -115,3 +115,30 @@ func cleanSendAfterUnlock(sl *slot, data []byte) {
 	sl.mu.Unlock()
 	sl.ch <- data
 }
+
+// mergeable mimics a summary: Merge is pure in-memory work.
+type mergeable struct{ n uint64 }
+
+func (m *mergeable) Merge(src *mergeable) { m.n += src.n }
+
+// plane mimics the window roll-up plane: a mutex guarding the live
+// summary of the current epoch.
+type plane struct {
+	mu  sync.Mutex
+	cur *mergeable
+}
+
+// cleanMergeUnderLock is the window-plane Absorb / ingest-front flush
+// shape, and it is deliberately legal: a merge is bounded in-memory
+// work (no decode, no I/O, no blocking), and running it under the
+// plane lock is what keeps a concurrent Advance from sealing an epoch
+// between the liveness check and the merge. Decoding the operand
+// still belongs outside the lock (see decodeUnderLock above).
+func cleanMergeUnderLock(p *plane, src *mergeable) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cur == nil {
+		p.cur = &mergeable{}
+	}
+	p.cur.Merge(src)
+}

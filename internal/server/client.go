@@ -140,6 +140,64 @@ func (c *Client) pullFrame(slot string) (string, []byte, error) {
 	return fields[0], buf, nil
 }
 
+// queryWindowFrame fetches the raw encoded frame of the slot's epoch
+// range [from, to] from a windowed server, and its kind.
+func (c *Client) queryWindowFrame(slot string, from, to uint64) (string, []byte, error) {
+	fmt.Fprintf(c.w, "QWIN %s %d %d\n", slot, from, to)
+	if err := c.w.Flush(); err != nil {
+		return "", nil, err
+	}
+	rest, err := c.readStatus()
+	if err != nil {
+		return "", nil, err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return "", nil, fmt.Errorf("server: malformed QWIN reply %q", rest)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 || n > maxFrame {
+		return "", nil, fmt.Errorf("server: bad frame length %q", fields[1])
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", nil, err
+	}
+	return fields[0], buf, nil
+}
+
+// QueryWindow decodes the merged summary of the named slot's epoch
+// range [from, to] into out, returning the slot's kind. Epoch 0 means
+// "oldest retained" for from and "through the live epoch" for to, so
+// QueryWindow(slot, 0, 0, out) is the all-retained-history query. The
+// server must be running windowed mode (summaryd -window).
+func (c *Client) QueryWindow(slot string, from, to uint64, out encoding.BinaryUnmarshaler) (string, error) {
+	kind, buf, err := c.queryWindowFrame(slot, from, to)
+	if err != nil {
+		return "", err
+	}
+	return kind, out.UnmarshalBinary(buf)
+}
+
+// QueryWindowAny is QueryWindow without the caller naming the type:
+// the frame's kind tag selects the registry entry, which constructs
+// and decodes a fresh summary (as PullAny).
+func (c *Client) QueryWindowAny(slot string, from, to uint64) (string, any, error) {
+	kind, buf, err := c.queryWindowFrame(slot, from, to)
+	if err != nil {
+		return "", nil, err
+	}
+	ent, err := registry.FromFrame(buf)
+	if err != nil {
+		return "", nil, fmt.Errorf("server: slot %q kind %q: %w", slot, kind, err)
+	}
+	v, err := ent.Decode(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	return kind, v, nil
+}
+
 // Pull decodes the named slot's merged summary into out, returning the
 // slot's kind.
 func (c *Client) Pull(slot string, out encoding.BinaryUnmarshaler) (string, error) {

@@ -12,9 +12,18 @@
 //	PUSHB <slot> <kind> <count>\n then <count> frames
 //	                              → OK <n>\n            merge all frames, one round-trip
 //	PULL <slot>\n                 → OK <kind> <len>\n<frame>
+//	QWIN <slot> <from> <to>\n     → OK <kind> <len>\n<frame>
 //	STAT\n                        → OK <count>\n then "<slot> <kind> <n> <pushes>\n" each
 //	RESET <slot>\n                → OK 0\n              drop the slot
 //	QUIT\n                        → connection closes
+//
+// QWIN is the time-travel query: on servers running windowed mode
+// (SetWindow), every slot additionally feeds a multi-resolution
+// roll-up plane (internal/window.Plane) and QWIN returns the merged
+// summary of the epoch range [from, to] — 0 meaning "oldest retained"
+// and "through the live epoch" respectively. The reply frame is
+// byte-identical in shape to PULL's. Without windowed mode QWIN
+// reports an error.
 //
 // Every frame on the wire is preceded by its own "<len>\n" length
 // line. PUSHB is the batch ingestion command: workers pipeline up to
@@ -70,6 +79,7 @@ import (
 
 	"repro/internal/registry"
 	"repro/internal/shard"
+	"repro/internal/window"
 	// Link the full family catalog into any binary embedding the
 	// server, so a bare daemon serves every registered kind.
 	_ "repro/internal/registry/all"
@@ -124,6 +134,11 @@ type slot struct {
 	frontOnce sync.Once
 	front     atomic.Pointer[shard.Front]
 	pushedN   atomic.Uint64
+
+	// plane is the slot's multi-resolution roll-up plane, bound with
+	// ent on windowed servers (SetWindow); nil otherwise. Guarded by mu
+	// for binding; the plane itself is internally synchronized.
+	plane *window.Plane
 }
 
 // encoded returns the slot's wire encoding, serving the epoch cache
@@ -202,6 +217,13 @@ type Server struct {
 	frontLanes int
 	frontTick  time.Duration
 
+	// windowed servers (SetWindow) give every slot a roll-up plane with
+	// this ladder shape; winTick > 0 additionally starts the epoch
+	// ticker advancing every plane.
+	windowed  bool
+	winLadder window.Ladder
+	winTick   time.Duration
+
 	// connSeq hands each connection a token that spreads its pushes
 	// across front lanes.
 	connSeq atomic.Uint64
@@ -245,6 +267,74 @@ func (s *Server) SetIngestFront(lanes int, tick time.Duration) {
 	s.frontTick = tick
 }
 
+// SetWindow enables windowed mode (off by default): every slot's
+// pushes additionally feed a per-slot multi-resolution roll-up plane
+// with the given ladder shape, served by QWIN. The zero Ladder selects
+// window.DefaultLadder. tick > 0 starts the epoch ticker: the live
+// epoch of every plane is sealed (and rolled up in the background)
+// every tick. tick <= 0 leaves epoch turn-over to AdvanceWindows —
+// the deterministic shape tests use. Call before Serve.
+func (s *Server) SetWindow(l window.Ladder, tick time.Duration) {
+	s.windowed = true
+	s.winLadder = l
+	s.winTick = tick
+}
+
+// bindPlane creates the slot's roll-up plane on windowed servers, tied
+// to the slot's family entry. Called under sl.mu at kind-bind time, so
+// a slot's plane exists from its first push onward.
+func (s *Server) bindPlane(sl *slot, ent *registry.Entry) {
+	if !s.windowed || sl.plane != nil {
+		return
+	}
+	pl, err := window.NewPlane(ent, nil, s.winLadder)
+	if err != nil {
+		// An invalid ladder shape fails every slot the same way; QWIN
+		// reports the missing plane.
+		return
+	}
+	sl.plane = pl
+}
+
+// AdvanceWindows seals the live epoch of every windowed slot's plane,
+// absorbing lane-parked ingest first so front-mode pushes land in the
+// epoch that was open when they arrived. The epoch ticker calls this
+// every tick; tests call it directly for deterministic epochs.
+func (s *Server) AdvanceWindows() {
+	s.mu.Lock()
+	sls := make([]*slot, 0, len(s.slots))
+	for _, sl := range s.slots {
+		sls = append(sls, sl)
+	}
+	s.mu.Unlock()
+	for _, sl := range sls {
+		s.flushFront(sl)
+		sl.mu.Lock()
+		pl := sl.plane
+		sl.mu.Unlock()
+		if pl != nil {
+			// A seal error is retained in the plane's own stats; the
+			// epoch still turns over.
+			_ = pl.Advance()
+		}
+	}
+}
+
+// windowLoop is the windowed-mode epoch ticker.
+func (s *Server) windowLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.winTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.AdvanceWindows()
+		}
+	}
+}
+
 // Listen binds the server to addr ("127.0.0.1:0" for an ephemeral
 // port) and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -266,6 +356,10 @@ func (s *Server) Serve() error {
 		s.wg.Add(1)
 		go s.flushLoop()
 	}
+	if s.windowed && s.winTick > 0 {
+		s.wg.Add(1)
+		go s.windowLoop()
+	}
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -285,11 +379,22 @@ func (s *Server) Serve() error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting and waits for in-flight connections. Roll-up
+// planes are closed so their background workers exit; sealed segments
+// stay queryable until the server is dropped.
 func (s *Server) Close() {
 	close(s.closed)
 	if s.ln != nil {
 		s.ln.Close()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sl := range s.slots {
+		sl.mu.Lock()
+		if sl.plane != nil {
+			sl.plane.Close()
+		}
+		sl.mu.Unlock()
 	}
 }
 
@@ -331,6 +436,8 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		case "PULL":
 			s.cmdPull(fields, w)
+		case "QWIN":
+			s.cmdQueryWindow(fields, w)
 		case "STAT":
 			s.cmdStat(w)
 		case "RESET":
@@ -439,6 +546,12 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool
 	case sl.summary == nil:
 		sl.ent = ent
 		sl.summary = incoming // ownership transfers to the slot
+		s.bindPlane(sl, ent)
+		if sl.plane != nil {
+			// AbsorbClone never takes ownership, so the slot keeps the
+			// summary it just installed.
+			_ = sl.plane.AbsorbClone(incoming)
+		}
 	default:
 		if err := ent.Merge(sl.summary, incoming); err != nil {
 			// A failed merge may have partially mutated the slot;
@@ -448,6 +561,9 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool
 			ent.PutScratch(incoming)
 			fmt.Fprintf(w, "ERR merge: %v\n", err)
 			return true
+		}
+		if sl.plane != nil {
+			_ = sl.plane.AbsorbClone(incoming)
 		}
 		ent.PutScratch(incoming)
 	}
@@ -530,6 +646,10 @@ func (s *Server) cmdPushBatch(token uint64, fields []string, r *bufio.Reader, w 
 		if sl.summary == nil {
 			sl.ent = ent
 			sl.summary = incoming // ownership transfers to the slot
+			s.bindPlane(sl, ent)
+			if sl.plane != nil {
+				_ = sl.plane.AbsorbClone(incoming)
+			}
 		} else if err := ent.Merge(sl.summary, incoming); err != nil {
 			// Frames before i stay merged; invalidate any snapshot.
 			sl.version.Add(1)
@@ -540,6 +660,9 @@ func (s *Server) cmdPushBatch(token uint64, fields []string, r *bufio.Reader, w 
 			fmt.Fprintf(w, "ERR merge frame %d/%d: %v\n", i+1, count, err)
 			return true
 		} else {
+			if sl.plane != nil {
+				_ = sl.plane.AbsorbClone(incoming)
+			}
 			ent.PutScratch(incoming)
 		}
 		sl.pushes++
@@ -584,6 +707,7 @@ func (s *Server) pushBatchFront(name string, ent *registry.Entry, decoded []any,
 	}
 	sl.ent = ent
 	sl.pushes += uint64(len(decoded))
+	s.bindPlane(sl, ent)
 	sl.mu.Unlock()
 	sl.frontOnce.Do(func() {
 		sl.front.Store(shard.NewFront(ent, s.frontLanes))
@@ -603,12 +727,13 @@ func (s *Server) pushBatchFront(name string, ent *registry.Entry, decoded []any,
 
 // flushFront drains the slot's ingest front (if any) and absorbs the
 // pending per-lane summaries under the slot lock, making them visible
-// to PULL/STAT. The front is keyed to one kind, so merges here cannot
+// to PULL/STAT — and, on windowed servers, to the slot's roll-up
+// plane. The front is keyed to one kind, so merges here cannot
 // shape-mismatch in normal operation; if one fails anyway the pending
 // summary is dropped unrecycled (a failed merge may alias its state)
 // and the version bump keeps cached snapshots from outliving the
 // partial merge.
-func flushFront(sl *slot) {
+func (s *Server) flushFront(sl *slot) {
 	fr := sl.front.Load()
 	if fr == nil || !fr.Dirty() {
 		return
@@ -619,6 +744,11 @@ func flushFront(sl *slot) {
 	}
 	sl.mu.Lock()
 	for _, p := range pending {
+		if sl.plane != nil {
+			// Absorb before the slot consumes p; the plane never takes
+			// ownership.
+			_ = sl.plane.AbsorbClone(p)
+		}
 		if sl.summary == nil {
 			sl.summary = p
 			continue
@@ -650,7 +780,7 @@ func (s *Server) flushLoop() {
 			}
 			s.mu.Unlock()
 			for _, sl := range sls {
-				flushFront(sl)
+				s.flushFront(sl)
 			}
 		}
 	}
@@ -670,7 +800,7 @@ func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
 	}
 	// Absorb any lane-parked batches first: a PULL issued after a
 	// front-mode PUSHB's OK reply must observe that push.
-	flushFront(sl)
+	s.flushFront(sl)
 	kind, data, err := sl.encoded(s.snapCacheOff.Load())
 	if err != nil {
 		if errors.Is(err, errSlotEmpty) {
@@ -682,6 +812,54 @@ func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
 	}
 	fmt.Fprintf(w, "OK %s %d\n", kind, len(data))
 	w.Write(data)
+}
+
+// cmdQueryWindow handles QWIN <slot> <from> <to>: the slot's roll-up
+// plane answers the epoch range with a minimal precomputed-segment
+// cover (0 = oldest retained / through the live epoch). Lane-parked
+// ingest is absorbed first so a QWIN issued after a push's OK reply
+// observes that push in the live epoch.
+func (s *Server) cmdQueryWindow(fields []string, w *bufio.Writer) {
+	if len(fields) != 4 {
+		fmt.Fprintf(w, "ERR usage: QWIN <slot> <from> <to>\n")
+		return
+	}
+	from, err1 := strconv.ParseUint(fields[2], 10, 64)
+	to, err2 := strconv.ParseUint(fields[3], 10, 64)
+	if err1 != nil || err2 != nil {
+		fmt.Fprintf(w, "ERR bad epoch range %q %q\n", fields[2], fields[3])
+		return
+	}
+	s.mu.Lock()
+	sl, ok := s.slots[fields[1]]
+	s.mu.Unlock()
+	if !ok {
+		fmt.Fprintf(w, "ERR no such slot %q\n", fields[1])
+		return
+	}
+	s.flushFront(sl)
+	sl.mu.Lock()
+	pl := sl.plane
+	kind := ""
+	if sl.ent != nil {
+		kind = sl.ent.Name()
+	}
+	sl.mu.Unlock()
+	if pl == nil {
+		if !s.windowed {
+			fmt.Fprintf(w, "ERR windowed queries disabled (start with -window)\n")
+		} else {
+			fmt.Fprintf(w, "ERR slot %q is empty\n", fields[1])
+		}
+		return
+	}
+	frame, err := pl.QueryEncoded(from, to)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %s %d\n", kind, len(frame))
+	w.Write(frame)
 }
 
 func (s *Server) cmdStat(w *bufio.Writer) {
@@ -701,7 +879,7 @@ func (s *Server) cmdStat(w *bufio.Writer) {
 			fmt.Fprintf(w, "%s - 0 0\n", name)
 			continue
 		}
-		flushFront(sl)
+		s.flushFront(sl)
 		// Format the row under the lock (the summary may be merged
 		// into concurrently) but write it after: the client may be
 		// slow to drain and must not stall the slot.
@@ -721,7 +899,17 @@ func (s *Server) cmdReset(fields []string, w *bufio.Writer) {
 		return
 	}
 	s.mu.Lock()
+	sl := s.slots[fields[1]]
 	delete(s.slots, fields[1])
 	s.mu.Unlock()
+	if sl != nil {
+		// Stop the dropped slot's roll-up worker; its history dies with
+		// the slot.
+		sl.mu.Lock()
+		if sl.plane != nil {
+			sl.plane.Close()
+		}
+		sl.mu.Unlock()
+	}
 	fmt.Fprintf(w, "OK 0\n")
 }

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mg"
+	"repro/internal/window"
+)
+
+// startWindowedServer returns a running windowed server (manual epoch
+// control via AdvanceWindows), its address, and a stop function.
+func startWindowedServer(t *testing.T, l window.Ladder, tick time.Duration) (*Server, string, func()) {
+	t.Helper()
+	s := New()
+	s.SetWindow(l, tick)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	return s, addr, func() {
+		s.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+}
+
+func pushMG(t *testing.T, c *Client, slot string, item, weight uint64) {
+	t.Helper()
+	s := mg.New(16)
+	s.Update(core.Item(item), weight)
+	if _, err := c.Push(slot, "mg", s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryWindowRoundTrip(t *testing.T) {
+	s, addr, stop := startWindowedServer(t, window.Ladder{Fan: 4, Levels: 2}, 0)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Three epochs of pushes: weights 100, 200, 300.
+	for e, w := range []uint64{100, 200, 300} {
+		pushMG(t, c, "flows", uint64(e+1), w)
+		s.AdvanceWindows()
+	}
+	pushMG(t, c, "flows", 9, 50) // live epoch
+
+	// Full history through the live epoch.
+	var got mg.Summary
+	kind, err := c.QueryWindow("flows", 0, 0, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "mg" {
+		t.Fatalf("kind = %q", kind)
+	}
+	if got.N() != 650 {
+		t.Fatalf("QWIN [0,0] N = %d, want 650", got.N())
+	}
+
+	// Sealed sub-range only.
+	var mid mg.Summary
+	if _, err := c.QueryWindow("flows", 2, 3, &mid); err != nil {
+		t.Fatal(err)
+	}
+	if mid.N() != 500 {
+		t.Fatalf("QWIN [2,3] N = %d, want 500", mid.N())
+	}
+
+	// The registry-dispatched variant agrees.
+	_, v, err := c.QueryWindowAny("flows", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*mg.Summary).N() != 500 {
+		t.Fatalf("QueryWindowAny N = %d, want 500", v.(*mg.Summary).N())
+	}
+
+	// PULL still serves the all-time summary, unchanged by windowing.
+	var all mg.Summary
+	if _, err := c.Pull("flows", &all); err != nil {
+		t.Fatal(err)
+	}
+	if all.N() != 650 {
+		t.Fatalf("PULL N = %d, want 650", all.N())
+	}
+}
+
+func TestQueryWindowErrors(t *testing.T) {
+	s, addr, stop := startWindowedServer(t, window.Ladder{Fan: 4, Levels: 2}, 0)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.QueryWindow("ghost", 0, 0, &mg.Summary{}); err == nil {
+		t.Fatal("QWIN on a missing slot succeeded")
+	}
+	pushMG(t, c, "flows", 1, 10)
+	s.AdvanceWindows()
+	if _, err := c.QueryWindow("flows", 3, 2, &mg.Summary{}); err == nil {
+		t.Fatal("QWIN with an inverted range succeeded")
+	}
+	// A range past the last sealed epoch that excludes the live epoch
+	// has nothing to answer with.
+	if _, err := c.QueryWindow("flows", 2, 2, &mg.Summary{}); err == nil {
+		t.Fatal("QWIN over an unsealed empty epoch succeeded")
+	}
+}
+
+func TestQueryWindowDisabled(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pushMG(t, c, "flows", 1, 10)
+	if _, err := c.QueryWindow("flows", 0, 0, &mg.Summary{}); err == nil {
+		t.Fatal("QWIN succeeded on a non-windowed server")
+	}
+}
+
+// Windowed mode composes with the ingest front: lane-parked batches
+// must be visible to QWIN issued after the push's reply.
+func TestQueryWindowWithIngestFront(t *testing.T) {
+	s := New()
+	s.SetIngestFront(2, time.Hour) // ticker effectively off; flush on demand
+	s.SetWindow(window.Ladder{Fan: 4, Levels: 2}, 0)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve() }()
+	defer func() {
+		s.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	batch := make([]encoding.BinaryMarshaler, 0, 4)
+	for i := 0; i < 4; i++ {
+		sm := mg.New(16)
+		sm.Update(core.Item(i), 25)
+		batch = append(batch, sm)
+	}
+	if _, err := c.PushBatch("flows", "mg", batch); err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceWindows() // flushes lanes into the plane, then seals
+
+	var got mg.Summary
+	if _, err := c.QueryWindow("flows", 1, 1, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 100 {
+		t.Fatalf("QWIN [1,1] N = %d, want 100", got.N())
+	}
+}

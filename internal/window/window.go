@@ -19,6 +19,19 @@ type Windowed[S any] struct {
 	head   int      // index of the current epoch
 	now    uint64   // current epoch sequence number (starts at 1)
 	mk     func(epoch uint64) S
+
+	// Query memoizes the merge of the window's sealed epochs (every
+	// covered epoch except the live one, which callers mutate through
+	// Current between queries). Sealed epochs are frozen, so the tail
+	// stays valid until the epoch advances or the window length
+	// changes — a repeated query re-merges one summary, not the whole
+	// window.
+	tail      S
+	tailLen   int    // window length the tail was computed for
+	tailEpoch uint64 // epoch the tail was computed at
+	tailOK    bool   // tail covers >= 1 sealed epoch
+	tailSet   bool   // tail slot holds a summary (recyclable)
+	recycle   func(S)
 }
 
 // New returns a Windowed retaining the most recent capacity epochs;
@@ -56,10 +69,36 @@ func (w *Windowed[S]) Advance() {
 	w.seq[w.head] = w.now
 }
 
+// SetRecycler installs a hook that receives query-tail summaries the
+// window no longer needs (an epoch advance or a different window
+// length invalidates the memoized tail). Callers running over the
+// registry catalog typically pass the family entry's PutScratch so
+// invalidated tails return to the family's sync.Pool instead of the
+// garbage collector.
+func (w *Windowed[S]) SetRecycler(put func(S)) { w.recycle = put }
+
+// dropTail invalidates the memoized sealed-epoch merge, recycling the
+// summary it holds.
+func (w *Windowed[S]) dropTail() {
+	if w.tailSet && w.recycle != nil {
+		w.recycle(w.tail)
+	}
+	var zero S
+	w.tail = zero
+	w.tailOK = false
+	w.tailSet = false
+}
+
 // Query merges the summaries of the most recent `last` epochs
 // (including the current one) into a fresh summary: clone copies an
-// epoch summary, merge folds src into dst. last is clamped to the
-// retained range.
+// epoch summary, merge folds src into dst (and must not mutate src).
+// last is clamped to the retained range.
+//
+// The merge of the sealed epochs is memoized per (last, epoch): while
+// no epoch advances, a repeated query clones the memoized tail and
+// folds in only the live epoch — one clone and one merge instead of
+// re-merging the whole window — so a dashboard polling the same
+// window between ticks no longer pays O(window) merges per refresh.
 func (w *Windowed[S]) Query(last int, clone func(S) S, merge func(dst, src S) error) (S, error) {
 	var zero S
 	if last < 1 {
@@ -68,24 +107,42 @@ func (w *Windowed[S]) Query(last int, clone func(S) S, merge func(dst, src S) er
 	if last > len(w.epochs) {
 		last = len(w.epochs)
 	}
-	var acc S
-	started := false
-	for i := 0; i < last; i++ {
-		idx := (w.head - i + len(w.epochs)) % len(w.epochs)
-		if w.seq[idx] == 0 || w.seq[idx] > w.now || w.seq[idx]+uint64(last) <= w.now {
-			continue // never used, or outside the requested window
+	if w.tailLen != last || w.tailEpoch != w.now || !w.tailSet {
+		// Rebuild the sealed tail: every in-range epoch except the
+		// live one, oldest first. Sealed epochs never change, so this
+		// runs once per (advance, window length), not once per query.
+		w.dropTail()
+		for i := last - 1; i >= 1; i-- {
+			idx := (w.head - i + len(w.epochs)) % len(w.epochs)
+			if w.seq[idx] == 0 || w.seq[idx] >= w.now || w.seq[idx]+uint64(last) <= w.now {
+				continue // never used, live, or outside the window
+			}
+			if !w.tailSet {
+				w.tail = clone(w.epochs[idx])
+				w.tailSet = true
+				w.tailOK = true
+				continue
+			}
+			if err := merge(w.tail, w.epochs[idx]); err != nil {
+				w.dropTail()
+				return zero, fmt.Errorf("window: merging epoch %d: %w", w.seq[idx], err)
+			}
 		}
-		if !started {
-			acc = clone(w.epochs[idx])
-			started = true
-			continue
-		}
-		if err := merge(acc, clone(w.epochs[idx])); err != nil {
-			return zero, fmt.Errorf("window: merging epoch %d: %w", w.seq[idx], err)
+		w.tailLen = last
+		w.tailEpoch = w.now
+		if !w.tailSet {
+			// No sealed epochs in range; memoize the emptiness.
+			w.tailSet = true
+			w.tailOK = false
 		}
 	}
-	if !started {
-		return zero, fmt.Errorf("window: no epochs in range")
+	if !w.tailOK {
+		// Only the live epoch is in range.
+		return clone(w.epochs[w.head]), nil
+	}
+	acc := clone(w.tail)
+	if err := merge(acc, w.epochs[w.head]); err != nil {
+		return zero, fmt.Errorf("window: merging epoch %d: %w", w.now, err)
 	}
 	return acc, nil
 }
