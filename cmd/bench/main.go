@@ -125,6 +125,22 @@ type windowReport struct {
 	Points []windowPoint `json:"points"`
 }
 
+// clusterReport measures the multi-node aggregation plane over three
+// in-process peer-mode nodes: consistent-hash routed push throughput
+// through the ClusterClient, and cluster-wide PULLC fan-in throughput
+// against node-local PULL on the same starred slot — the fan-in cost
+// ratio is what a dashboard pays for asking one node to answer for
+// the whole cluster.
+type clusterReport struct {
+	Nodes             int     `json:"nodes"`
+	DurPerPoint       string  `json:"dur_per_point"`
+	Clients           int     `json:"clients"`
+	RoutedPushPerSec  float64 `json:"routed_push_ops_per_sec"`
+	PullLocalPerSec   float64 `json:"pull_local_ops_per_sec"`
+	PullClusterPerSec float64 `json:"pull_cluster_ops_per_sec"`
+	FanInCost         float64 `json:"fan_in_cost_ratio"`
+}
+
 type report struct {
 	Schema       int               `json:"schema"`
 	Go           string            `json:"go"`
@@ -138,6 +154,7 @@ type report struct {
 	Server       *serverReport     `json:"server,omitempty"`
 	ServerKinds  []kindPoint       `json:"server_kinds,omitempty"`
 	MergeScaling []mergeScalePoint `json:"merge_scaling,omitempty"`
+	Cluster      *clusterReport    `json:"cluster,omitempty"`
 }
 
 func toPath(r testing.BenchmarkResult) pathResult {
@@ -564,6 +581,129 @@ func windowSeries(benchtime time.Duration) (*windowReport, error) {
 	return rep, nil
 }
 
+// clusterSeries boots a 3-node in-process peer cluster and measures
+// the network merge plane: routed pushes through the consistent-hash
+// ClusterClient, node-local PULL on a starred slot, and the same slot
+// answered cluster-wide via PULLC fan-in from one node.
+func clusterSeries(clients int, dur time.Duration) (*clusterReport, error) {
+	const nodes = 3
+	servers := make([]*server.Server, nodes)
+	addrs := make([]string, nodes)
+	for i := range servers {
+		servers[i] = server.New()
+		addr, err := servers[i].Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = addr
+	}
+	done := make(chan error, nodes)
+	for i, s := range servers {
+		s.SetPeers(addrs[i], addrs, 2*time.Second, 1)
+		go func(s *server.Server) { done <- s.Serve() }(s)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for range servers {
+			<-done
+		}
+	}()
+
+	// Star the pull slot: every node holds a partial, so PULLC does
+	// real three-way fan-in work.
+	pushSummary := mg.New(256)
+	for i, x := range gen.NewZipf(4096, 1.2, 5).Stream(1 << 12) {
+		pushSummary.Update(x, uint64(i%3+1))
+	}
+	for _, addr := range addrs {
+		c, err := server.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		_, err = c.Push("starred", "mg", pushSummary)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &clusterReport{Nodes: nodes, DurPerPoint: dur.String(), Clients: clients}
+
+	// Routed pushes: each client drives its own ClusterClient over a
+	// spread of slot keys, so the ring scatters the load over all
+	// three nodes.
+	var (
+		ops      atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	start := time.Now()
+	timer := time.AfterFunc(dur, func() { stop.Store(true) })
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cc, err := server.DialCluster(addrs, 2*time.Second)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer cc.Close()
+			for i := 0; !stop.Load(); i++ {
+				slot := fmt.Sprintf("ingest-%d-%d", id, i%32)
+				if _, err := cc.Push(slot, "mg", pushSummary); err != nil {
+					fail(err)
+					return
+				}
+				ops.Add(1)
+			}
+		}(id)
+	}
+	wg.Wait()
+	timer.Stop()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep.RoutedPushPerSec = float64(ops.Load()) / time.Since(start).Seconds()
+	fmt.Printf("cluster/routed_push  clients=%d  %10.0f ops/s\n", clients, rep.RoutedPushPerSec)
+
+	local, err := measureServer(addrs[0], clients, dur, func(c *server.Client, id int) error {
+		_, _, err := c.PullFrame("starred")
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.PullLocalPerSec = local
+	fmt.Printf("cluster/pull_local   clients=%d  %10.0f ops/s\n", clients, local)
+
+	fanned, err := measureServer(addrs[0], clients, dur, func(c *server.Client, id int) error {
+		_, _, err := c.PullClusterFrame("starred")
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.PullClusterPerSec = fanned
+	if fanned > 0 {
+		rep.FanInCost = local / fanned
+	}
+	fmt.Printf("cluster/pull_cluster clients=%d  %10.0f ops/s  fan-in cost %.2fx\n", clients, fanned, rep.FanInCost)
+	return rep, nil
+}
+
 // mergeScalingSeries times mergetree.Parallel over a fixed 128-part
 // Count-Min set (pure cell-wise CPU work) at each worker count,
 // cloning the parts outside the timed region because Parallel
@@ -733,7 +873,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:     4,
+		Schema:     5,
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -786,6 +926,13 @@ func main() {
 			os.Exit(1)
 		}
 		rep.MergeScaling = scaling
+
+		cl, err := clusterSeries(4, *serverDur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: cluster series:", err)
+			os.Exit(1)
+		}
+		rep.Cluster = cl
 	}
 
 	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic proves the property routing relies on: every
+// client and every server computes the same key→node assignment from
+// the same member set, regardless of the order the list is written in.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"n1:7070", "n2:7070", "n3:7070"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3:7070", "n1:7070", "n2:7070"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("slot-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q under reordered node list", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution sanity-checks the virtual-point spread: over
+// many keys every node owns a non-trivial share.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("k%d", i))]++
+	}
+	for _, n := range nodes {
+		if counts[n] < keys/len(nodes)/3 {
+			t.Fatalf("node %q owns only %d/%d keys: spread too skewed", n, counts[n], keys)
+		}
+	}
+}
+
+// TestRingStability checks the consistent-hashing contract: removing
+// one node only remaps keys that belonged to it — no key owned by a
+// surviving node moves between survivors.
+func TestRingStability(t *testing.T) {
+	full, err := NewRing([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("slot-%d", i)
+		before := full.Owner(key)
+		if before == "d" {
+			continue // d's keys must remap somewhere
+		}
+		if after := reduced.Owner(key); after != before {
+			t.Fatalf("key %q moved %q → %q though its owner survived", key, before, after)
+		}
+	}
+}
+
+// TestRingErrors covers the constructor's rejection paths.
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+// TestRingOwnerIndex checks Owner and OwnerIndex agree.
+func TestRingOwnerIndex(t *testing.T) {
+	r, err := NewRing([]string{"x", "y", "z"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if r.Nodes()[r.OwnerIndex(key)] != r.Owner(key) {
+			t.Fatalf("OwnerIndex and Owner disagree for %q", key)
+		}
+	}
+}

@@ -80,7 +80,7 @@ func TestAllKindsRoundTrip(t *testing.T) {
 				t.Fatalf("server n = %d, local fold n = %d", n, wantN)
 			}
 
-			kind, got, err := c.pullFrame(slot)
+			kind, got, err := c.PullFrame(slot)
 			if err != nil {
 				t.Fatalf("PULL: %v", err)
 			}

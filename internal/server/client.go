@@ -3,11 +3,13 @@ package server
 import (
 	"bufio"
 	"encoding"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/registry"
 )
@@ -18,6 +20,12 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	// Wall-clock→epoch mapping, lazily fetched from METRICS for
+	// QueryWindowTime and cached for the connection's lifetime (the
+	// origin and tick are fixed at server start).
+	winOriginNS int64
+	winTickNS   int64
 }
 
 // Dial connects to a summaryd server.
@@ -27,6 +35,42 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// DialTimeout is Dial with a connect timeout, for callers (the peer
+// fan-out, cluster clients) that must not block on a dead address.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// SetDeadline bounds every subsequent read and write on the
+// connection; a zero time clears it.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// RemoteError is an ERR reply from the server, as opposed to a
+// transport failure. Msg is the server's text after "ERR ".
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "server: " + e.Msg }
+
+// IsNoData reports whether err is a server reply meaning "nothing
+// held for that query" — a slot the server never saw, an empty slot,
+// or a window range nothing was sealed into — rather than a failure.
+// Fan-in readers use it to let such peers contribute nothing.
+func IsNoData(err error) bool {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	return strings.HasPrefix(re.Msg, "no such slot ") ||
+		strings.HasSuffix(re.Msg, "is empty") ||
+		strings.Contains(re.Msg, "nothing summarized")
 }
 
 // Close sends QUIT and closes the connection.
@@ -43,7 +87,7 @@ func (c *Client) readStatus() (string, error) {
 	}
 	line = strings.TrimSpace(line)
 	if strings.HasPrefix(line, "ERR ") {
-		return "", fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+		return "", &RemoteError{Msg: strings.TrimPrefix(line, "ERR ")}
 	}
 	if !strings.HasPrefix(line, "OK") {
 		return "", fmt.Errorf("server: malformed reply %q", line)
@@ -115,8 +159,9 @@ func (c *Client) PushBatch(slot, kind string, summaries []encoding.BinaryMarshal
 	return n, nil
 }
 
-// pullFrame fetches the named slot's raw encoded frame and its kind.
-func (c *Client) pullFrame(slot string) (string, []byte, error) {
+// PullFrame fetches the named slot's raw encoded frame and its kind,
+// without decoding — the shape fan-in readers and relays want.
+func (c *Client) PullFrame(slot string) (string, []byte, error) {
 	fmt.Fprintf(c.w, "PULL %s\n", slot)
 	if err := c.w.Flush(); err != nil {
 		return "", nil, err
@@ -140,9 +185,9 @@ func (c *Client) pullFrame(slot string) (string, []byte, error) {
 	return fields[0], buf, nil
 }
 
-// queryWindowFrame fetches the raw encoded frame of the slot's epoch
+// QueryWindowFrame fetches the raw encoded frame of the slot's epoch
 // range [from, to] from a windowed server, and its kind.
-func (c *Client) queryWindowFrame(slot string, from, to uint64) (string, []byte, error) {
+func (c *Client) QueryWindowFrame(slot string, from, to uint64) (string, []byte, error) {
 	fmt.Fprintf(c.w, "QWIN %s %d %d\n", slot, from, to)
 	if err := c.w.Flush(); err != nil {
 		return "", nil, err
@@ -172,7 +217,7 @@ func (c *Client) queryWindowFrame(slot string, from, to uint64) (string, []byte,
 // QueryWindow(slot, 0, 0, out) is the all-retained-history query. The
 // server must be running windowed mode (summaryd -window).
 func (c *Client) QueryWindow(slot string, from, to uint64, out encoding.BinaryUnmarshaler) (string, error) {
-	kind, buf, err := c.queryWindowFrame(slot, from, to)
+	kind, buf, err := c.QueryWindowFrame(slot, from, to)
 	if err != nil {
 		return "", err
 	}
@@ -183,7 +228,7 @@ func (c *Client) QueryWindow(slot string, from, to uint64, out encoding.BinaryUn
 // the frame's kind tag selects the registry entry, which constructs
 // and decodes a fresh summary (as PullAny).
 func (c *Client) QueryWindowAny(slot string, from, to uint64) (string, any, error) {
-	kind, buf, err := c.queryWindowFrame(slot, from, to)
+	kind, buf, err := c.QueryWindowFrame(slot, from, to)
 	if err != nil {
 		return "", nil, err
 	}
@@ -201,7 +246,7 @@ func (c *Client) QueryWindowAny(slot string, from, to uint64) (string, any, erro
 // Pull decodes the named slot's merged summary into out, returning the
 // slot's kind.
 func (c *Client) Pull(slot string, out encoding.BinaryUnmarshaler) (string, error) {
-	kind, buf, err := c.pullFrame(slot)
+	kind, buf, err := c.PullFrame(slot)
 	if err != nil {
 		return "", err
 	}
@@ -214,7 +259,7 @@ func (c *Client) Pull(slot string, out encoding.BinaryUnmarshaler) (string, erro
 // value's dynamic type is the family's summary pointer (e.g. *mg.Summary
 // for kind "mg").
 func (c *Client) PullAny(slot string) (string, any, error) {
-	kind, buf, err := c.pullFrame(slot)
+	kind, buf, err := c.PullFrame(slot)
 	if err != nil {
 		return "", nil, err
 	}
@@ -258,7 +303,7 @@ func PushTyped[T any, PT registry.Codec[T]](c *Client, slot string, summary PT) 
 // fresh *T. The slot must hold T's registered kind; a mismatch is
 // reported by the codec layer's kind check, not a silent misparse.
 func PullTyped[T any, PT registry.Codec[T]](c *Client, slot string) (*T, error) {
-	_, buf, err := c.pullFrame(slot)
+	_, buf, err := c.PullFrame(slot)
 	if err != nil {
 		return nil, err
 	}
@@ -316,4 +361,193 @@ func (c *Client) Reset(slot string) error {
 	}
 	_, err := c.readStatus()
 	return err
+}
+
+// readFrameReply parses an "OK <kind> <len>\n<frame>" reply.
+func (c *Client) readFrameReply(cmd string) (string, []byte, error) {
+	rest, err := c.readStatus()
+	if err != nil {
+		return "", nil, err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return "", nil, fmt.Errorf("server: malformed %s reply %q", cmd, rest)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 || n > maxFrame {
+		return "", nil, fmt.Errorf("server: bad frame length %q", fields[1])
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", nil, err
+	}
+	return fields[0], buf, nil
+}
+
+// PullClusterFrame fetches the cluster-wide merged frame of the named
+// slot via PULLC: the contacted node fans the read out to every peer
+// and reduces the snapshots before replying. Against a node without
+// peers it is a plain PULL.
+func (c *Client) PullClusterFrame(slot string) (string, []byte, error) {
+	fmt.Fprintf(c.w, "PULLC %s\n", slot)
+	if err := c.w.Flush(); err != nil {
+		return "", nil, err
+	}
+	return c.readFrameReply("PULLC")
+}
+
+// PullCluster decodes the cluster-wide merged summary of the named
+// slot into out, returning the slot's kind.
+func (c *Client) PullCluster(slot string, out encoding.BinaryUnmarshaler) (string, error) {
+	kind, buf, err := c.PullClusterFrame(slot)
+	if err != nil {
+		return "", err
+	}
+	return kind, out.UnmarshalBinary(buf)
+}
+
+// PullClusterAny is PullCluster without the caller naming the type
+// (as PullAny).
+func (c *Client) PullClusterAny(slot string) (string, any, error) {
+	kind, buf, err := c.PullClusterFrame(slot)
+	if err != nil {
+		return "", nil, err
+	}
+	ent, err := registry.FromFrame(buf)
+	if err != nil {
+		return "", nil, fmt.Errorf("server: slot %q kind %q: %w", slot, kind, err)
+	}
+	v, err := ent.Decode(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	return kind, v, nil
+}
+
+// QueryWindowClusterFrame fetches the cluster-wide merged frame of the
+// slot's epoch range [from, to] via QWINC (epoch-0 conventions as
+// QueryWindow).
+func (c *Client) QueryWindowClusterFrame(slot string, from, to uint64) (string, []byte, error) {
+	fmt.Fprintf(c.w, "QWINC %s %d %d\n", slot, from, to)
+	if err := c.w.Flush(); err != nil {
+		return "", nil, err
+	}
+	return c.readFrameReply("QWINC")
+}
+
+// QueryWindowCluster decodes the cluster-wide merged summary of the
+// slot's epoch range [from, to] into out, returning the slot's kind.
+func (c *Client) QueryWindowCluster(slot string, from, to uint64, out encoding.BinaryUnmarshaler) (string, error) {
+	kind, buf, err := c.QueryWindowClusterFrame(slot, from, to)
+	if err != nil {
+		return "", err
+	}
+	return kind, out.UnmarshalBinary(buf)
+}
+
+// Metrics fetches the server's METRICS counters as a name→value map:
+// per-kind push/pull/merge totals, peer fan-out counters (peer mode),
+// and the window epoch origin and tick (windowed mode).
+func (c *Client) Metrics() (map[string]uint64, error) {
+	fmt.Fprintf(c.w, "METRICS\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	rest, err := c.readStatus()
+	if err != nil {
+		return nil, err
+	}
+	count, err := strconv.Atoi(rest)
+	if err != nil || count < 0 {
+		return nil, fmt.Errorf("server: malformed METRICS count %q", rest)
+	}
+	out := make(map[string]uint64, count)
+	for i := 0; i < count; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Fields(strings.TrimSpace(line))
+		if len(f) != 2 {
+			return nil, fmt.Errorf("server: malformed METRICS row %q", line)
+		}
+		v, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: malformed METRICS value %q", line)
+		}
+		out[f[0]] = v
+	}
+	return out, nil
+}
+
+// windowClock fetches (once per connection) the server's epoch origin
+// and tick from METRICS. Both are fixed at server start, so caching
+// them is safe for the connection's lifetime.
+func (c *Client) windowClock() (originNS, tickNS int64, err error) {
+	if c.winTickNS != 0 {
+		return c.winOriginNS, c.winTickNS, nil
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		return 0, 0, err
+	}
+	origin, okO := m["window.origin_unix_ns"]
+	tick, okT := m["window.tick_ns"]
+	if !okO || !okT || tick == 0 {
+		return 0, 0, fmt.Errorf("server: windowed queries disabled (start with -window)")
+	}
+	c.winOriginNS, c.winTickNS = int64(origin), int64(tick)
+	return c.winOriginNS, c.winTickNS, nil
+}
+
+// epochAt maps a wall-clock instant to the epoch that was live at
+// that instant: epoch 1 spans [origin, origin+tick), and so on.
+// Instants before the origin map to epoch 1.
+func epochAt(t time.Time, originNS, tickNS int64) uint64 {
+	d := t.UnixNano() - originNS
+	if d < 0 {
+		return 1
+	}
+	return uint64(d/tickNS) + 1
+}
+
+// QueryWindowTime decodes the merged summary of the wall-clock span
+// [from, to] into out, returning the slot's kind. The span is mapped
+// to epochs with the epoch origin and tick the server reports over
+// METRICS: the result covers every epoch that was live at any instant
+// of the span, rounded outward to epoch boundaries. A zero from means
+// "oldest retained"; a zero to means "through the live epoch". The
+// server must be running windowed mode with a tick (summaryd -window
+// -wtick), since only tick-driven epochs track wall time.
+func (c *Client) QueryWindowTime(slot string, from, to time.Time, out encoding.BinaryUnmarshaler) (string, error) {
+	originNS, tickNS, err := c.windowClock()
+	if err != nil {
+		return "", err
+	}
+	var fromE, toE uint64
+	if !from.IsZero() {
+		fromE = epochAt(from, originNS, tickNS)
+	}
+	if !to.IsZero() {
+		toE = epochAt(to, originNS, tickNS)
+	}
+	return c.QueryWindow(slot, fromE, toE, out)
+}
+
+// QueryWindowClusterTime is QueryWindowTime fanned cluster-wide via
+// QWINC. The contacted node's epoch clock maps the span; peers advance
+// on the same tick, so the range names the same span everywhere.
+func (c *Client) QueryWindowClusterTime(slot string, from, to time.Time, out encoding.BinaryUnmarshaler) (string, error) {
+	originNS, tickNS, err := c.windowClock()
+	if err != nil {
+		return "", err
+	}
+	var fromE, toE uint64
+	if !from.IsZero() {
+		fromE = epochAt(from, originNS, tickNS)
+	}
+	if !to.IsZero() {
+		toE = epochAt(to, originNS, tickNS)
+	}
+	return c.QueryWindowCluster(slot, fromE, toE, out)
 }

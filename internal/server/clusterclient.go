@@ -1,0 +1,257 @@
+package server
+
+import (
+	"encoding"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/registry"
+)
+
+// ClusterClient spreads one logical summaryd workload over a node
+// list: pushes are routed to the slot key's owner on a consistent-hash
+// ring (every client computes the same ring from the same node list,
+// so all writers of a slot land on one node without coordination), and
+// PullAll answers cluster-wide reads by pulling every node's snapshot
+// concurrently and reducing them client-side — the same registry-driven
+// fan-in the server's PULLC runs, minus the extra network hop.
+//
+// A ClusterClient is NOT safe for concurrent use: it caches one
+// connection per node and re-uses them across calls (PullAll uses each
+// from exactly one goroutine at a time). Open one per goroutine.
+type ClusterClient struct {
+	ring    *cluster.Ring
+	nodes   []string
+	conns   []*Client // lazily dialed, index-aligned with nodes
+	timeout time.Duration
+}
+
+// DialCluster builds a routing client over the node list. Connections
+// are dialed lazily, so a cluster with a dead node can still be used
+// until a call actually needs that node. timeout bounds each dial and
+// each per-node operation (<= 0 selects DefaultPeerTimeout).
+func DialCluster(nodes []string, timeout time.Duration) (*ClusterClient, error) {
+	ring, err := cluster.NewRing(nodes, 0)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	return &ClusterClient{
+		ring:    ring,
+		nodes:   ring.Nodes(),
+		conns:   make([]*Client, len(ring.Nodes())),
+		timeout: timeout,
+	}, nil
+}
+
+// Close closes every open connection, returning the first error.
+func (cc *ClusterClient) Close() error {
+	var first error
+	for i, c := range cc.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		cc.conns[i] = nil
+	}
+	return first
+}
+
+// Nodes returns the cluster's node list. The slice is shared; callers
+// must not mutate it.
+func (cc *ClusterClient) Nodes() []string { return cc.nodes }
+
+// Owner returns the node a slot key routes to.
+func (cc *ClusterClient) Owner(slot string) string { return cc.ring.Owner(slot) }
+
+// withConn runs op on node i's cached connection, dialing on first
+// use. A transport failure (not a server ERR reply) drops the cached
+// connection and retries once on a fresh dial, so one stale socket —
+// a node restart, an idle-timeout — does not poison the client.
+func (cc *ClusterClient) withConn(i int, op func(*Client) error) error {
+	redialed := false
+	for {
+		c := cc.conns[i]
+		if c == nil {
+			var err error
+			c, err = DialTimeout(cc.nodes[i], cc.timeout)
+			if err != nil {
+				return fmt.Errorf("node %s: %w", cc.nodes[i], err)
+			}
+			cc.conns[i] = c
+			redialed = true
+		}
+		c.SetDeadline(time.Now().Add(cc.timeout))
+		err := op(c)
+		c.SetDeadline(time.Time{})
+		if err == nil {
+			return nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			// The server answered; the connection is fine.
+			return err
+		}
+		c.conn.Close()
+		cc.conns[i] = nil
+		if redialed {
+			return fmt.Errorf("node %s: %w", cc.nodes[i], err)
+		}
+	}
+}
+
+// Push routes the summary to the slot key's owning node and merges it
+// there, returning that node's slot weight after the merge.
+func (cc *ClusterClient) Push(slot, kind string, summary encoding.BinaryMarshaler) (uint64, error) {
+	var n uint64
+	err := cc.withConn(cc.ring.OwnerIndex(slot), func(c *Client) error {
+		var err error
+		n, err = c.Push(slot, kind, summary)
+		return err
+	})
+	return n, err
+}
+
+// PushBatch routes the whole batch to the slot key's owning node with
+// PUSHB round-trips, returning that node's slot weight after the batch.
+func (cc *ClusterClient) PushBatch(slot, kind string, summaries []encoding.BinaryMarshaler) (uint64, error) {
+	var n uint64
+	err := cc.withConn(cc.ring.OwnerIndex(slot), func(c *Client) error {
+		var err error
+		n, err = c.PushBatch(slot, kind, summaries)
+		return err
+	})
+	return n, err
+}
+
+// PullAllFrame fetches the cluster-wide merged frame of the named
+// slot: every node's PULL snapshot is read concurrently and reduced
+// client-side in node-list order (so the answer is byte-identical to
+// the server-side PULLC fan-in over the same member list). Nodes that
+// never saw the slot contribute nothing; a node that cannot be read
+// fails the whole call with a partial-result error naming it — the
+// caller is never handed an answer silently missing a node's share.
+func (cc *ClusterClient) PullAllFrame(slot string) (string, []byte, error) {
+	frames, err := cc.fanOut(func(c *Client) ([]byte, error) {
+		_, data, err := c.PullFrame(slot)
+		return data, err
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	if len(frames) == 0 {
+		return "", nil, &RemoteError{Msg: fmt.Sprintf("no such slot %q", slot)}
+	}
+	return cluster.ReduceEncoded(frames)
+}
+
+// PullAll decodes the cluster-wide merged summary of the named slot
+// into out, returning the slot's kind.
+func (cc *ClusterClient) PullAll(slot string, out encoding.BinaryUnmarshaler) (string, error) {
+	kind, buf, err := cc.PullAllFrame(slot)
+	if err != nil {
+		return "", err
+	}
+	return kind, out.UnmarshalBinary(buf)
+}
+
+// PullAllAny is PullAll without the caller naming the type (as
+// PullAny).
+func (cc *ClusterClient) PullAllAny(slot string) (string, any, error) {
+	kind, buf, err := cc.PullAllFrame(slot)
+	if err != nil {
+		return "", nil, err
+	}
+	ent, err := registry.FromFrame(buf)
+	if err != nil {
+		return "", nil, fmt.Errorf("slot %q kind %q: %w", slot, kind, err)
+	}
+	v, err := ent.Decode(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	return kind, v, nil
+}
+
+// QueryWindowAllFrame is PullAllFrame over an epoch range: every
+// node's QWIN answer for [from, to], reduced in node-list order.
+func (cc *ClusterClient) QueryWindowAllFrame(slot string, from, to uint64) (string, []byte, error) {
+	frames, err := cc.fanOut(func(c *Client) ([]byte, error) {
+		_, data, err := c.QueryWindowFrame(slot, from, to)
+		return data, err
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	if len(frames) == 0 {
+		return "", nil, &RemoteError{Msg: fmt.Sprintf("window: nothing summarized in [%d, %d]", from, to)}
+	}
+	return cluster.ReduceEncoded(frames)
+}
+
+// QueryWindowAll decodes the cluster-wide merged summary of the epoch
+// range [from, to] into out, returning the slot's kind.
+func (cc *ClusterClient) QueryWindowAll(slot string, from, to uint64, out encoding.BinaryUnmarshaler) (string, error) {
+	kind, buf, err := cc.QueryWindowAllFrame(slot, from, to)
+	if err != nil {
+		return "", err
+	}
+	return kind, out.UnmarshalBinary(buf)
+}
+
+// fanOut reads one frame per node concurrently (each node's cached
+// connection is used by exactly one goroutine), keeping node-list
+// order. No-data replies contribute nothing; any other failure fails
+// the call with every failing node named.
+func (cc *ClusterClient) fanOut(op func(*Client) ([]byte, error)) ([][]byte, error) {
+	type res struct {
+		frame []byte
+		err   error
+	}
+	results := make([]res, len(cc.nodes))
+	var wg sync.WaitGroup
+	for i := range cc.nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := cc.withConn(i, func(c *Client) error {
+				frame, err := op(c)
+				if err != nil {
+					return err
+				}
+				results[i].frame = frame
+				return nil
+			})
+			if err != nil && !IsNoData(err) {
+				results[i].err = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	var failed []string
+	frames := make([][]byte, 0, len(cc.nodes))
+	for i, r := range results {
+		if r.err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", cc.nodes[i], r.err))
+			continue
+		}
+		if r.frame != nil {
+			frames = append(frames, r.frame)
+		}
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		return nil, fmt.Errorf("cluster: partial result (%d/%d nodes ok): %s",
+			len(cc.nodes)-len(failed), len(cc.nodes), strings.Join(failed, "; "))
+	}
+	return frames, nil
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// DefaultPeerTimeout bounds one peer read (dial + request + reply)
+// during a cluster fan-in when SetPeers is given no explicit timeout.
+const DefaultPeerTimeout = 2 * time.Second
+
+// SetPeers enables coordinator-less peer mode: peers is the full
+// cluster member list (every node's listen address, this one
+// included) and self names this node's own entry, which is answered
+// from local state instead of a network round-trip. With peers set,
+// the PULLC and QWINC commands answer cluster-wide queries by fanning
+// the corresponding single-node read out to every peer concurrently
+// and reducing the snapshots through cluster.ReduceEncoded — any node
+// can be asked, and every node computes the same answer because the
+// reduction order is the shared peer list. timeout bounds each peer
+// read (<= 0 selects DefaultPeerTimeout); retries is the number of
+// re-dials after a failed read (< 0 selects 1). Call before Serve.
+//
+// Peer-mode queries never recurse: the fan-out sends single-node
+// PULL/QWIN, so a cycle in the peer list costs nothing.
+func (s *Server) SetPeers(self string, peers []string, timeout time.Duration, retries int) {
+	s.peers = append([]string(nil), peers...)
+	s.self = self
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	if retries < 0 {
+		retries = 1
+	}
+	s.peerTimeout = timeout
+	s.peerRetries = retries
+}
+
+// Peers returns the configured cluster member list (nil outside peer
+// mode). The slice is shared; callers must not mutate it.
+func (s *Server) Peers() []string { return s.peers }
+
+// peerResult is one peer's contribution to a fan-in: its frame (nil
+// when the peer holds nothing for the query) or its terminal error.
+type peerResult struct {
+	addr  string
+	frame []byte
+	err   error
+}
+
+// readPeer performs one peer read with the configured timeout and
+// retry budget. A fresh connection per attempt keeps a half-dead
+// socket from poisoning the retry; the deadline covers the whole
+// round-trip so a hung peer costs at most (retries+1)·timeout. A
+// no-data reply (missing or empty slot, nothing summarized in range)
+// is a success contributing nothing — that is what lets a star fan-in
+// span nodes that never saw the slot.
+func (s *Server) readPeer(addr string, op func(*Client) ([]byte, error)) peerResult {
+	var lastErr error
+	for attempt := 0; attempt <= s.peerRetries; attempt++ {
+		if attempt > 0 {
+			s.fanRetries.Add(1)
+		}
+		c, err := DialTimeout(addr, s.peerTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.SetDeadline(time.Now().Add(s.peerTimeout))
+		frame, err := op(c)
+		c.Close()
+		switch {
+		case err == nil:
+			s.fanPeerOK.Add(1)
+			return peerResult{addr: addr, frame: frame}
+		case IsNoData(err):
+			s.fanPeerOK.Add(1)
+			return peerResult{addr: addr}
+		}
+		lastErr = err
+	}
+	s.fanPeerErr.Add(1)
+	return peerResult{addr: addr, err: lastErr}
+}
+
+// fanIn runs a cluster-wide read: local answers this node's share and
+// op reads one peer's. Results keep peer-list order — the reduction
+// order every node shares — and failures are returned separately.
+func (s *Server) fanIn(local func() ([]byte, error), op func(*Client) ([]byte, error)) (frames [][]byte, failed []peerResult) {
+	s.fanouts.Add(1)
+	results := make([]peerResult, len(s.peers))
+	var wg sync.WaitGroup
+	for i, addr := range s.peers {
+		if addr == s.self {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			results[i] = s.readPeer(addr, op)
+		}(i, addr)
+	}
+	// The local share runs on this goroutine while the peers are in
+	// flight. Local no-data mirrors the peer classification.
+	selfAt := -1
+	for i, addr := range s.peers {
+		if addr == s.self {
+			selfAt = i
+			frame, err := local()
+			switch {
+			case err == nil:
+				results[i] = peerResult{addr: addr, frame: frame}
+			case isLocalNoData(err):
+				results[i] = peerResult{addr: addr}
+			default:
+				s.fanPeerErr.Add(1)
+				results[i] = peerResult{addr: addr, err: err}
+			}
+			break
+		}
+	}
+	wg.Wait()
+	if selfAt >= 0 {
+		// Count the local share as a peer read so METRICS adds up.
+		if results[selfAt].err == nil {
+			s.fanPeerOK.Add(1)
+		}
+	}
+	for _, r := range results {
+		if r.addr == "" {
+			continue // self not in peer list and loop skipped it
+		}
+		if r.err != nil {
+			failed = append(failed, r)
+			continue
+		}
+		if r.frame != nil {
+			frames = append(frames, r.frame)
+		}
+	}
+	return frames, failed
+}
+
+// isLocalNoData classifies a local read error the way IsNoData
+// classifies a remote one: a slot this node never saw, a slot with
+// nothing in it, or a window range nothing was sealed into all mean
+// "this node contributes nothing".
+func isLocalNoData(err error) bool {
+	return errors.Is(err, errNoSlot) || errors.Is(err, errSlotEmpty) ||
+		strings.Contains(err.Error(), "nothing summarized")
+}
+
+// describeFailures renders the failed-peer list for a partial-result
+// error reply, deterministically ordered by address.
+func describeFailures(failed []peerResult) string {
+	sort.Slice(failed, func(i, j int) bool { return failed[i].addr < failed[j].addr })
+	parts := make([]string, len(failed))
+	for i, f := range failed {
+		parts[i] = fmt.Sprintf("peer %s: %v", f.addr, f.err)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// replyFanIn reduces the collected frames and writes the PULL-shaped
+// reply, or the partial-result error when any peer failed: the
+// cluster never silently serves an answer missing a reachable-peer's
+// share, and never hangs — a dead peer costs at most the retry budget.
+func (s *Server) replyFanIn(slot string, frames [][]byte, failed []peerResult, w *bufio.Writer) {
+	if len(failed) > 0 {
+		ok := len(s.peers) - len(failed)
+		fmt.Fprintf(w, "ERR partial result (%d/%d peers ok): %s\n", ok, len(s.peers), describeFailures(failed))
+		return
+	}
+	if len(frames) == 0 {
+		fmt.Fprintf(w, "ERR no such slot %q\n", slot)
+		return
+	}
+	kind, data, err := cluster.ReduceEncoded(frames)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK %s %d\n", kind, len(data))
+	w.Write(data)
+}
+
+// cmdPullCluster handles PULLC <slot>: the cluster-wide merged
+// summary, reduced from every peer's PULL snapshot plus this node's
+// own state. Outside peer mode it degrades to a plain PULL — a
+// cluster of one.
+func (s *Server) cmdPullCluster(fields []string, w *bufio.Writer) {
+	if len(fields) != 2 {
+		fmt.Fprintf(w, "ERR usage: PULLC <slot>\n")
+		return
+	}
+	if len(s.peers) == 0 {
+		s.cmdPull(fields, w)
+		return
+	}
+	slot := fields[1]
+	frames, failed := s.fanIn(
+		func() ([]byte, error) {
+			_, data, err := s.Encoded(slot)
+			return data, err
+		},
+		func(c *Client) ([]byte, error) {
+			_, data, err := c.PullFrame(slot)
+			return data, err
+		},
+	)
+	s.replyFanIn(slot, frames, failed, w)
+}
+
+// cmdQueryWindowCluster handles QWINC <slot> <from> <to>: the
+// cluster-wide merged summary of the epoch range, reduced from every
+// peer's QWIN answer plus this node's own plane. Nodes advance epochs
+// on the same tick (or the operator's AdvanceWindows cadence), so a
+// range means the same wall-clock span on every peer.
+func (s *Server) cmdQueryWindowCluster(fields []string, w *bufio.Writer) {
+	if len(fields) != 4 {
+		fmt.Fprintf(w, "ERR usage: QWINC <slot> <from> <to>\n")
+		return
+	}
+	if len(s.peers) == 0 {
+		s.cmdQueryWindow(fields, w)
+		return
+	}
+	slot := fields[1]
+	from, err1 := strconv.ParseUint(fields[2], 10, 64)
+	to, err2 := strconv.ParseUint(fields[3], 10, 64)
+	if err1 != nil || err2 != nil {
+		fmt.Fprintf(w, "ERR bad epoch range %q %q\n", fields[2], fields[3])
+		return
+	}
+	frames, failed := s.fanIn(
+		func() ([]byte, error) {
+			_, data, err := s.WindowEncoded(slot, from, to)
+			return data, err
+		},
+		func(c *Client) ([]byte, error) {
+			_, data, err := c.QueryWindowFrame(slot, from, to)
+			return data, err
+		},
+	)
+	s.replyFanIn(slot, frames, failed, w)
+}

@@ -12,8 +12,11 @@
 //	PUSHB <slot> <kind> <count>\n then <count> frames
 //	                              → OK <n>\n            merge all frames, one round-trip
 //	PULL <slot>\n                 → OK <kind> <len>\n<frame>
+//	PULLC <slot>\n                → OK <kind> <len>\n<frame>   cluster-wide fan-in
 //	QWIN <slot> <from> <to>\n     → OK <kind> <len>\n<frame>
+//	QWINC <slot> <from> <to>\n    → OK <kind> <len>\n<frame>   cluster-wide fan-in
 //	STAT\n                        → OK <count>\n then "<slot> <kind> <n> <pushes>\n" each
+//	METRICS\n                     → OK <count>\n then "<name> <value>\n" each
 //	RESET <slot>\n                → OK 0\n              drop the slot
 //	QUIT\n                        → connection closes
 //
@@ -25,6 +28,17 @@
 // byte-identical in shape to PULL's. Without windowed mode QWIN
 // reports an error.
 //
+// PULLC and QWINC are the cluster fan-in commands: on servers running
+// peer mode (SetPeers / summaryd -peers), the node PULLs the slot's
+// encoded snapshot from every peer concurrently, reduces the peer
+// partials together with its own local state through the registry's
+// decode-into-scratch path and mergetree.Parallel (cluster.Reduce),
+// and replies with the merged frame — the paper's topology-free merge
+// run over the network as a star. Peers missing the slot contribute
+// nothing; a peer that cannot be reached within the per-peer timeout
+// (after retries) turns the reply into a partial-result error naming
+// the failed peers, never a hang. See fanout.go.
+//
 // Every frame on the wire is preceded by its own "<len>\n" length
 // line. PUSHB is the batch ingestion command: workers pipeline up to
 // MaxBatch frames behind one command line and receive a single reply,
@@ -32,6 +46,16 @@
 // the slot lock is taken once per batch, not once per frame. Frames
 // preceding a failed decode/merge within a batch stay merged (the
 // reply reports the error).
+//
+// Layering: all slot state — the slot table, the epoch-versioned
+// snapshot cache, the per-lane ingest front, the roll-up planes and
+// the per-kind operation counters — lives on Node (node.go), which has
+// no network attached. Server is the wire-protocol shell: it reads
+// frames into pooled buffers, decodes them into pooled scratch
+// summaries entirely outside any slot lock, and calls the node's
+// ingest/read methods; the cluster fan-in reuses the same node methods
+// for the local share. One process can therefore act as ingest node,
+// aggregator, or both.
 //
 // Concurrency architecture (the merge plane):
 //
@@ -45,7 +69,7 @@
 //     readers share the cached bytes lock-free. A PULL issued after a
 //     push's OK reply always observes that push (the version bump
 //     happens before the reply is written).
-//   - Lock ordering: s.mu (slot map) and sl.mu (one slot) are never
+//   - Lock ordering: n.mu (slot map) and sl.mu (one slot) are never
 //     held together except map-lookup-then-slot-lock; sl.mu is never
 //     held while touching another slot.
 //
@@ -70,7 +94,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -78,8 +101,6 @@ import (
 	"time"
 
 	"repro/internal/registry"
-	"repro/internal/shard"
-	"repro/internal/window"
 	// Link the full family catalog into any binary embedding the
 	// server, so a bare daemon serves every registered kind.
 	_ "repro/internal/registry/all"
@@ -98,84 +119,6 @@ const frameChunk = 64 << 10
 
 // MaxBatch bounds the number of frames a single PUSHB may carry.
 const MaxBatch = 4096
-
-// errSlotEmpty reports a PULL of a slot that exists but holds nothing.
-var errSlotEmpty = errors.New("slot is empty")
-
-// snapshot is one epoch of a slot's encoded state. data is immutable
-// once published: concurrent PULLs write the same bytes to their own
-// connections without copying.
-type snapshot struct {
-	version uint64
-	kind    string
-	data    []byte
-}
-
-// slot is one named aggregation target.
-type slot struct {
-	mu      sync.Mutex
-	ent     *registry.Entry // guarded by mu; set by the first push
-	summary any             // guarded by mu
-	pushes  uint64          // guarded by mu
-
-	// version counts mutations. It is bumped under mu after every
-	// install/merge and read without mu by the PULL fast path, so a
-	// reply-ordered reader can detect staleness with one atomic load.
-	version atomic.Uint64
-	// snap is the epoch-cached encoding, valid iff snap.version ==
-	// version. Published under mu, loaded lock-free.
-	snap atomic.Pointer[snapshot]
-
-	// front is the slot's per-lane ingest front, created lazily by the
-	// first PUSHB once the server has ingest fronting enabled (see
-	// SetIngestFront). nil on servers running the default direct-merge
-	// path. pushedN totals the weight absorbed through the front so the
-	// PUSHB reply stays meaningful without flushing.
-	frontOnce sync.Once
-	front     atomic.Pointer[shard.Front]
-	pushedN   atomic.Uint64
-
-	// plane is the slot's multi-resolution roll-up plane, bound with
-	// ent on windowed servers (SetWindow); nil otherwise. Guarded by mu
-	// for binding; the plane itself is internally synchronized.
-	plane *window.Plane
-}
-
-// encoded returns the slot's wire encoding, serving the epoch cache
-// when it is fresh. The fast path is two atomic loads and no lock; the
-// slow path takes sl.mu, re-checks (another puller may have refreshed
-// the cache while we waited), encodes, and publishes the snapshot
-// before unlocking. Invalidation rule: a snapshot is valid only while
-// its version matches the slot's; pushes bump the version, so stale
-// bytes are unreachable the instant a push's reply is written.
-//
-//sketch:hotpath
-func (sl *slot) encoded(cacheOff bool) (string, []byte, error) {
-	if !cacheOff {
-		if snap := sl.snap.Load(); snap != nil && snap.version == sl.version.Load() {
-			return snap.kind, snap.data, nil
-		}
-	}
-	sl.mu.Lock()
-	defer sl.mu.Unlock()
-	if sl.summary == nil {
-		return "", nil, errSlotEmpty
-	}
-	v := sl.version.Load()
-	if !cacheOff {
-		if snap := sl.snap.Load(); snap != nil && snap.version == v {
-			return snap.kind, snap.data, nil
-		}
-	}
-	data, err := sl.ent.Encode(sl.summary)
-	if err != nil {
-		return "", nil, err
-	}
-	if !cacheOff {
-		sl.snap.Store(&snapshot{version: v, kind: sl.ent.Name(), data: data})
-	}
-	return sl.ent.Name(), data, nil
-}
 
 // frameBuf is a pooled frame read buffer. Pooling the struct (not the
 // slice) keeps Get/Put allocation-free.
@@ -199,139 +142,51 @@ func putFrame(f *frameBuf) {
 	framePool.Put(f)
 }
 
-// Server is the aggregation daemon. Use New and Serve. Kind dispatch
-// goes through the registry catalog: the server itself holds no
-// per-kind state.
+// Server is the aggregation daemon: the wire-protocol shell over a
+// Node. Use New and Serve. Kind dispatch goes through the registry
+// catalog: the server itself holds no per-kind state.
 type Server struct {
-	mu    sync.Mutex
-	slots map[string]*slot // guarded by mu
+	*Node
 
-	// snapCacheOff disables the PULL snapshot cache (benchmarks use it
-	// to measure the re-encode-every-call baseline).
-	snapCacheOff atomic.Bool
+	// peer mode (SetPeers): the full cluster member list, this node's
+	// own entry, and the per-peer fan-out policy. See fanout.go.
+	peers       []string
+	self        string
+	peerTimeout time.Duration
+	peerRetries int
 
-	// frontLanes > 0 enables the per-lane ingest front for PUSHB:
-	// batches fold into per-connection lanes off the slot lock and the
-	// slot absorbs them on the epoch tick (frontTick) or at the next
-	// PULL/STAT. Set via SetIngestFront before Serve.
-	frontLanes int
-	frontTick  time.Duration
+	// peer fan-out counters, served by METRICS.
+	fanouts    atomic.Uint64 // cluster fan-in commands executed
+	fanPeerOK  atomic.Uint64 // per-peer reads that succeeded
+	fanPeerErr atomic.Uint64 // per-peer reads that failed after retries
+	fanRetries atomic.Uint64 // per-peer retry attempts
 
-	// windowed servers (SetWindow) give every slot a roll-up plane with
-	// this ladder shape; winTick > 0 additionally starts the epoch
-	// ticker advancing every plane.
-	windowed  bool
-	winLadder window.Ladder
-	winTick   time.Duration
+	// winOrigin is the wall-clock instant epoch 1 began (Serve time on
+	// windowed servers), unix nanoseconds; 0 until serving. With
+	// winTick it is the epoch↔wall-clock mapping METRICS reports and
+	// Client.QueryWindowTime uses.
+	winOrigin atomic.Int64
 
 	// connSeq hands each connection a token that spreads its pushes
 	// across front lanes.
 	connSeq atomic.Uint64
 
+	// draining is set by Shutdown: the listener is closed (no new
+	// connections) while in-flight connections keep being served until
+	// the grace period ends.
+	draining atomic.Bool
+
 	ln     net.Listener
-	wg     sync.WaitGroup
+	loopWg sync.WaitGroup // ticker goroutines, exit on closed
+	connWg sync.WaitGroup // connection handlers
 	closed chan struct{}
 }
 
 // New returns a server with no slots.
 func New() *Server {
 	return &Server{
-		slots:  make(map[string]*slot),
+		Node:   NewNode(),
 		closed: make(chan struct{}),
-	}
-}
-
-// SetSnapshotCache enables or disables the epoch-versioned snapshot
-// cache serving PULL (enabled by default). Disabling forces every PULL
-// to re-encode the slot under its lock — the pre-cache behavior — and
-// exists so benchmarks can measure the cache's effect.
-func (s *Server) SetSnapshotCache(on bool) { s.snapCacheOff.Store(!on) }
-
-// SetIngestFront enables the per-lane ingest front for PUSHB (off by
-// default). With the front on, each batch is folded into a single
-// summary off any lock and parked in a per-connection lane; the slot
-// absorbs the lanes on the epoch tick (every tick) and before any
-// PULL/STAT, so concurrent pushers stop contending on the slot lock
-// while reads stay read-your-writes. The PUSHB reply reports the total
-// weight pushed through the slot (monotone) instead of the merged N.
-// lanes < 1 selects GOMAXPROCS lanes; tick <= 0 selects 5ms. Call
-// before Serve.
-func (s *Server) SetIngestFront(lanes int, tick time.Duration) {
-	if lanes < 1 {
-		lanes = runtime.GOMAXPROCS(0)
-	}
-	if tick <= 0 {
-		tick = 5 * time.Millisecond
-	}
-	s.frontLanes = lanes
-	s.frontTick = tick
-}
-
-// SetWindow enables windowed mode (off by default): every slot's
-// pushes additionally feed a per-slot multi-resolution roll-up plane
-// with the given ladder shape, served by QWIN. The zero Ladder selects
-// window.DefaultLadder. tick > 0 starts the epoch ticker: the live
-// epoch of every plane is sealed (and rolled up in the background)
-// every tick. tick <= 0 leaves epoch turn-over to AdvanceWindows —
-// the deterministic shape tests use. Call before Serve.
-func (s *Server) SetWindow(l window.Ladder, tick time.Duration) {
-	s.windowed = true
-	s.winLadder = l
-	s.winTick = tick
-}
-
-// bindPlane creates the slot's roll-up plane on windowed servers, tied
-// to the slot's family entry. Called under sl.mu at kind-bind time, so
-// a slot's plane exists from its first push onward.
-func (s *Server) bindPlane(sl *slot, ent *registry.Entry) {
-	if !s.windowed || sl.plane != nil {
-		return
-	}
-	pl, err := window.NewPlane(ent, nil, s.winLadder)
-	if err != nil {
-		// An invalid ladder shape fails every slot the same way; QWIN
-		// reports the missing plane.
-		return
-	}
-	sl.plane = pl
-}
-
-// AdvanceWindows seals the live epoch of every windowed slot's plane,
-// absorbing lane-parked ingest first so front-mode pushes land in the
-// epoch that was open when they arrived. The epoch ticker calls this
-// every tick; tests call it directly for deterministic epochs.
-func (s *Server) AdvanceWindows() {
-	s.mu.Lock()
-	sls := make([]*slot, 0, len(s.slots))
-	for _, sl := range s.slots {
-		sls = append(sls, sl)
-	}
-	s.mu.Unlock()
-	for _, sl := range sls {
-		s.flushFront(sl)
-		sl.mu.Lock()
-		pl := sl.plane
-		sl.mu.Unlock()
-		if pl != nil {
-			// A seal error is retained in the plane's own stats; the
-			// epoch still turns over.
-			_ = pl.Advance()
-		}
-	}
-}
-
-// windowLoop is the windowed-mode epoch ticker.
-func (s *Server) windowLoop() {
-	defer s.wg.Done()
-	t := time.NewTicker(s.winTick)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.closed:
-			return
-		case <-t.C:
-			s.AdvanceWindows()
-		}
 	}
 }
 
@@ -346,67 +201,120 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Serve accepts connections until Close is called. It returns nil on
-// graceful shutdown.
+// Serve accepts connections until Close (or Shutdown) is called. It
+// returns nil on graceful shutdown.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("server: Listen first")
 	}
+	if s.windowed {
+		s.winOrigin.Store(time.Now().UnixNano())
+	}
 	if s.frontLanes > 0 {
-		s.wg.Add(1)
+		s.loopWg.Add(1)
 		go s.flushLoop()
 	}
 	if s.windowed && s.winTick > 0 {
-		s.wg.Add(1)
+		s.loopWg.Add(1)
 		go s.windowLoop()
 	}
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
+			if s.draining.Load() {
+				// Shutdown owns the rest of the teardown.
+				return nil
+			}
 			select {
 			case <-s.closed:
-				s.wg.Wait()
+				s.connWg.Wait()
+				s.loopWg.Wait()
 				return nil
 			default:
 				return err
 			}
 		}
-		s.wg.Add(1)
+		s.connWg.Add(1)
 		go func() {
-			defer s.wg.Done()
+			defer s.connWg.Done()
 			s.handle(conn)
 		}()
 	}
 }
 
-// Close stops accepting and waits for in-flight connections. Roll-up
-// planes are closed so their background workers exit; sealed segments
-// stay queryable until the server is dropped.
+// Close stops accepting and waits for nothing: in-flight connections
+// are abandoned to finish on their own and roll-up planes are closed
+// so their background workers exit; sealed segments stay queryable
+// until the server is dropped. For an orderly drain use Shutdown.
 func (s *Server) Close() {
-	close(s.closed)
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, sl := range s.slots {
-		sl.mu.Lock()
-		if sl.plane != nil {
-			sl.plane.Close()
+	s.CloseSlots()
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, absorbs every slot's lane-parked ingest, seals the live
+// window epoch (windowed servers), then waits up to grace for
+// in-flight connections to finish before closing everything. After the
+// drain the node's serveable state contains every push a reply ever
+// acknowledged — a final PULL equals the pre-shutdown state.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close() // stop accepting; Serve returns nil
+	}
+	s.Drain()
+	done := make(chan struct{})
+	go func() {
+		s.connWg.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		select {
+		case <-done:
+		case <-time.After(grace):
 		}
-		sl.mu.Unlock()
+	}
+	s.Close()
+	s.loopWg.Wait()
+}
+
+// windowLoop is the windowed-mode epoch ticker.
+func (s *Server) windowLoop() {
+	defer s.loopWg.Done()
+	t := time.NewTicker(s.winTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.AdvanceWindows()
+		}
 	}
 }
 
-func (s *Server) getSlot(name string) *slot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sl, ok := s.slots[name]
-	if !ok {
-		sl = &slot{}
-		s.slots[name] = sl
+// flushLoop is the epoch ticker: on servers running the ingest front
+// it absorbs every slot's lanes each tick, bounding the staleness of
+// lane-parked data by frontTick even when nobody pulls.
+func (s *Server) flushLoop() {
+	defer s.loopWg.Done()
+	t := time.NewTicker(s.frontTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.FlushFronts()
+		}
 	}
-	return sl
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -436,10 +344,16 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		case "PULL":
 			s.cmdPull(fields, w)
+		case "PULLC":
+			s.cmdPullCluster(fields, w)
 		case "QWIN":
 			s.cmdQueryWindow(fields, w)
+		case "QWINC":
+			s.cmdQueryWindowCluster(fields, w)
 		case "STAT":
 			s.cmdStat(w)
+		case "METRICS":
+			s.cmdMetrics(w)
 		case "RESET":
 			s.cmdReset(fields, w)
 		case "QUIT":
@@ -499,7 +413,7 @@ func readLengthPrefixed(r *bufio.Reader, f *frameBuf) ([]byte, error) {
 
 // cmdPush handles PUSH: the frame is read into a pooled buffer and
 // decoded into a pooled scratch summary entirely outside the slot
-// lock; only the merge runs under sl.mu. It returns false when the
+// lock; the node merges it under sl.mu. It returns false when the
 // stream can no longer be kept in sync and the connection must drop.
 func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool {
 	if len(fields) != 3 {
@@ -532,56 +446,23 @@ func (s *Server) cmdPush(fields []string, r *bufio.Reader, w *bufio.Writer) bool
 		fmt.Fprintf(w, "ERR decoding frame: %v\n", decErr)
 		return true
 	}
-	sl := s.getSlot(name)
-	sl.mu.Lock()
-	switch {
-	// ent can be bound with summary still nil when the ingest front
-	// holds the slot's only data, so the mismatch check keys on ent.
-	case sl.ent != nil && sl.ent != ent:
-		held := sl.ent.Name()
-		sl.mu.Unlock()
-		ent.PutScratch(incoming)
-		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
+	n, err := s.Ingest(name, ent, incoming)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
 		return true
-	case sl.summary == nil:
-		sl.ent = ent
-		sl.summary = incoming // ownership transfers to the slot
-		s.bindPlane(sl, ent)
-		if sl.plane != nil {
-			// AbsorbClone never takes ownership, so the slot keeps the
-			// summary it just installed.
-			_ = sl.plane.AbsorbClone(incoming)
-		}
-	default:
-		if err := ent.Merge(sl.summary, incoming); err != nil {
-			// A failed merge may have partially mutated the slot;
-			// bump the version so no cached snapshot outlives it.
-			sl.version.Add(1)
-			sl.mu.Unlock()
-			ent.PutScratch(incoming)
-			fmt.Fprintf(w, "ERR merge: %v\n", err)
-			return true
-		}
-		if sl.plane != nil {
-			_ = sl.plane.AbsorbClone(incoming)
-		}
-		ent.PutScratch(incoming)
 	}
-	sl.pushes++
-	sl.version.Add(1)
-	n := ent.N(sl.summary)
-	sl.mu.Unlock()
 	fmt.Fprintf(w, "OK %d\n", n)
 	return true
 }
 
 // cmdPushBatch handles PUSHB <slot> <kind> <count>: count frames are
 // read into pooled buffers and decoded into pooled scratch summaries
-// up front (outside any lock), then merged into the slot under a
-// single lock acquisition. It returns false when the connection must
-// be dropped because the stream can no longer be kept in sync (an
-// unparseable count or a frame-layer error means we cannot know where
-// the next command starts).
+// up front (outside any lock), then handed to the node, which merges
+// them under a single lock acquisition (or folds them into a front
+// lane). It returns false when the connection must be dropped because
+// the stream can no longer be kept in sync (an unparseable count or a
+// frame-layer error means we cannot know where the next command
+// starts).
 func (s *Server) cmdPushBatch(token uint64, fields []string, r *bufio.Reader, w *bufio.Writer) bool {
 	if len(fields) != 4 {
 		fmt.Fprintf(w, "ERR usage: PUSHB <slot> <kind> <count>\n")
@@ -628,162 +509,13 @@ func (s *Server) cmdPushBatch(token uint64, fields []string, r *bufio.Reader, w 
 		}
 	}
 	release(count)
-	if s.frontLanes > 0 {
-		return s.pushBatchFront(name, ent, decoded, token, w)
-	}
-	sl := s.getSlot(name)
-	sl.mu.Lock()
-	if sl.ent != nil && sl.ent != ent {
-		held := sl.ent.Name()
-		sl.mu.Unlock()
-		for _, d := range decoded {
-			ent.PutScratch(d)
-		}
-		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
+	n, err := s.IngestBatch(name, ent, decoded, token)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
 		return true
 	}
-	for i, incoming := range decoded {
-		if sl.summary == nil {
-			sl.ent = ent
-			sl.summary = incoming // ownership transfers to the slot
-			s.bindPlane(sl, ent)
-			if sl.plane != nil {
-				_ = sl.plane.AbsorbClone(incoming)
-			}
-		} else if err := ent.Merge(sl.summary, incoming); err != nil {
-			// Frames before i stay merged; invalidate any snapshot.
-			sl.version.Add(1)
-			sl.mu.Unlock()
-			for _, d := range decoded[i:] {
-				ent.PutScratch(d)
-			}
-			fmt.Fprintf(w, "ERR merge frame %d/%d: %v\n", i+1, count, err)
-			return true
-		} else {
-			if sl.plane != nil {
-				_ = sl.plane.AbsorbClone(incoming)
-			}
-			ent.PutScratch(incoming)
-		}
-		sl.pushes++
-	}
-	sl.version.Add(1)
-	n := ent.N(sl.summary)
-	sl.mu.Unlock()
 	fmt.Fprintf(w, "OK %d\n", n)
 	return true
-}
-
-// pushBatchFront is the PUSHB tail on servers running the ingest
-// front: the already-decoded batch is folded into one summary with no
-// lock held, the slot binds its kind under a brief critical section,
-// and the folded summary lands in the connection's front lane — so
-// concurrent pushers to the same slot contend (at worst) on a lane
-// mutex held for one merge, never on the slot lock. The slot absorbs
-// the lanes on the epoch tick or at the next PULL/STAT (flushFront).
-// The OK reply reports the total weight pushed through the slot so far
-// rather than the merged slot's N, which would require a flush.
-func (s *Server) pushBatchFront(name string, ent *registry.Entry, decoded []any, token uint64, w *bufio.Writer) bool {
-	folded := decoded[0]
-	for i := 1; i < len(decoded); i++ {
-		if err := ent.Merge(folded, decoded[i]); err != nil {
-			for _, d := range decoded[i:] {
-				ent.PutScratch(d)
-			}
-			ent.PutScratch(folded)
-			fmt.Fprintf(w, "ERR merge frame %d/%d: %v\n", i+1, len(decoded), err)
-			return true
-		}
-		ent.PutScratch(decoded[i])
-	}
-	sl := s.getSlot(name)
-	sl.mu.Lock()
-	if sl.ent != nil && sl.ent != ent {
-		held := sl.ent.Name()
-		sl.mu.Unlock()
-		ent.PutScratch(folded)
-		fmt.Fprintf(w, "ERR slot %q holds kind %q\n", name, held)
-		return true
-	}
-	sl.ent = ent
-	sl.pushes += uint64(len(decoded))
-	s.bindPlane(sl, ent)
-	sl.mu.Unlock()
-	sl.frontOnce.Do(func() {
-		sl.front.Store(shard.NewFront(ent, s.frontLanes))
-	})
-	n := ent.N(folded)
-	consumed, err := sl.front.Load().Push(token, folded)
-	if !consumed {
-		ent.PutScratch(folded)
-	}
-	if err != nil {
-		fmt.Fprintf(w, "ERR merge: %v\n", err)
-		return true
-	}
-	fmt.Fprintf(w, "OK %d\n", sl.pushedN.Add(n))
-	return true
-}
-
-// flushFront drains the slot's ingest front (if any) and absorbs the
-// pending per-lane summaries under the slot lock, making them visible
-// to PULL/STAT — and, on windowed servers, to the slot's roll-up
-// plane. The front is keyed to one kind, so merges here cannot
-// shape-mismatch in normal operation; if one fails anyway the pending
-// summary is dropped unrecycled (a failed merge may alias its state)
-// and the version bump keeps cached snapshots from outliving the
-// partial merge.
-func (s *Server) flushFront(sl *slot) {
-	fr := sl.front.Load()
-	if fr == nil || !fr.Dirty() {
-		return
-	}
-	pending := fr.Drain()
-	if len(pending) == 0 {
-		return
-	}
-	sl.mu.Lock()
-	for _, p := range pending {
-		if sl.plane != nil {
-			// Absorb before the slot consumes p; the plane never takes
-			// ownership.
-			_ = sl.plane.AbsorbClone(p)
-		}
-		if sl.summary == nil {
-			sl.summary = p
-			continue
-		}
-		if err := sl.ent.Merge(sl.summary, p); err == nil {
-			sl.ent.PutScratch(p)
-		}
-	}
-	sl.version.Add(1)
-	sl.mu.Unlock()
-}
-
-// flushLoop is the epoch ticker: on servers running the ingest front
-// it absorbs every slot's lanes each tick, bounding the staleness of
-// lane-parked data by frontTick even when nobody pulls.
-func (s *Server) flushLoop() {
-	defer s.wg.Done()
-	t := time.NewTicker(s.frontTick)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.closed:
-			return
-		case <-t.C:
-			s.mu.Lock()
-			sls := make([]*slot, 0, len(s.slots))
-			for _, sl := range s.slots {
-				sls = append(sls, sl)
-			}
-			s.mu.Unlock()
-			for _, sl := range sls {
-				s.flushFront(sl)
-			}
-		}
-	}
 }
 
 func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
@@ -791,21 +523,12 @@ func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
 		fmt.Fprintf(w, "ERR usage: PULL <slot>\n")
 		return
 	}
-	s.mu.Lock()
-	sl, ok := s.slots[fields[1]]
-	s.mu.Unlock()
-	if !ok {
-		fmt.Fprintf(w, "ERR no such slot %q\n", fields[1])
-		return
-	}
-	// Absorb any lane-parked batches first: a PULL issued after a
-	// front-mode PUSHB's OK reply must observe that push.
-	s.flushFront(sl)
-	kind, data, err := sl.encoded(s.snapCacheOff.Load())
+	kind, data, err := s.Encoded(fields[1])
 	if err != nil {
-		if errors.Is(err, errSlotEmpty) {
-			fmt.Fprintf(w, "ERR slot %q is empty\n", fields[1])
-		} else {
+		switch {
+		case errors.Is(err, errNoSlot), errors.Is(err, errSlotEmpty):
+			fmt.Fprintf(w, "ERR %v\n", err)
+		default:
 			fmt.Fprintf(w, "ERR encoding: %v\n", err)
 		}
 		return
@@ -816,9 +539,7 @@ func (s *Server) cmdPull(fields []string, w *bufio.Writer) {
 
 // cmdQueryWindow handles QWIN <slot> <from> <to>: the slot's roll-up
 // plane answers the epoch range with a minimal precomputed-segment
-// cover (0 = oldest retained / through the live epoch). Lane-parked
-// ingest is absorbed first so a QWIN issued after a push's OK reply
-// observes that push in the live epoch.
+// cover (0 = oldest retained / through the live epoch).
 func (s *Server) cmdQueryWindow(fields []string, w *bufio.Writer) {
 	if len(fields) != 4 {
 		fmt.Fprintf(w, "ERR usage: QWIN <slot> <from> <to>\n")
@@ -830,30 +551,7 @@ func (s *Server) cmdQueryWindow(fields []string, w *bufio.Writer) {
 		fmt.Fprintf(w, "ERR bad epoch range %q %q\n", fields[2], fields[3])
 		return
 	}
-	s.mu.Lock()
-	sl, ok := s.slots[fields[1]]
-	s.mu.Unlock()
-	if !ok {
-		fmt.Fprintf(w, "ERR no such slot %q\n", fields[1])
-		return
-	}
-	s.flushFront(sl)
-	sl.mu.Lock()
-	pl := sl.plane
-	kind := ""
-	if sl.ent != nil {
-		kind = sl.ent.Name()
-	}
-	sl.mu.Unlock()
-	if pl == nil {
-		if !s.windowed {
-			fmt.Fprintf(w, "ERR windowed queries disabled (start with -window)\n")
-		} else {
-			fmt.Fprintf(w, "ERR slot %q is empty\n", fields[1])
-		}
-		return
-	}
-	frame, err := pl.QueryEncoded(from, to)
+	kind, frame, err := s.WindowEncoded(fields[1], from, to)
 	if err != nil {
 		fmt.Fprintf(w, "ERR %v\n", err)
 		return
@@ -863,33 +561,53 @@ func (s *Server) cmdQueryWindow(fields []string, w *bufio.Writer) {
 }
 
 func (s *Server) cmdStat(w *bufio.Writer) {
-	s.mu.Lock()
-	names := make([]string, 0, len(s.slots))
-	for name := range s.slots {
-		names = append(names, name)
+	// Rows are formatted outside the write loop (each under its slot's
+	// lock inside Node.Rows): the client may be slow to drain and must
+	// not stall a slot.
+	rows := s.Rows()
+	fmt.Fprintf(w, "OK %d\n", len(rows))
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s %s %d %d\n", row.Name, row.Kind, row.N, row.Pushes)
 	}
-	s.mu.Unlock()
-	fmt.Fprintf(w, "OK %d\n", len(names))
-	for _, name := range names {
-		s.mu.Lock()
-		sl := s.slots[name]
-		s.mu.Unlock()
-		if sl == nil {
-			// Reset won the race since the name list was taken.
-			fmt.Fprintf(w, "%s - 0 0\n", name)
-			continue
-		}
-		s.flushFront(sl)
-		// Format the row under the lock (the summary may be merged
-		// into concurrently) but write it after: the client may be
-		// slow to drain and must not stall the slot.
-		sl.mu.Lock()
-		line := fmt.Sprintf("%s - 0 0\n", name)
-		if sl.summary != nil {
-			line = fmt.Sprintf("%s %s %d %d\n", name, sl.ent.Name(), sl.ent.N(sl.summary), sl.pushes)
-		}
-		sl.mu.Unlock()
-		w.WriteString(line)
+}
+
+// cmdMetrics handles METRICS: the per-kind push/pull/merge counters,
+// the peer fan-out counters (peer mode), and the window epoch origin
+// and tick (windowed mode) as "<name> <value>" rows — the first slice
+// of the observability surface, and the epoch↔wall-clock mapping
+// Client.QueryWindowTime resolves epochs against.
+func (s *Server) cmdMetrics(w *bufio.Writer) {
+	type row struct {
+		name string
+		val  uint64
+	}
+	rows := make([]row, 0, 3*16+8)
+	for _, ks := range s.Stats() {
+		rows = append(rows,
+			row{"kind.push." + ks.Kind, ks.Pushes},
+			row{"kind.pull." + ks.Kind, ks.Pulls},
+			row{"kind.merge." + ks.Kind, ks.Merges},
+		)
+	}
+	if len(s.peers) > 0 {
+		rows = append(rows,
+			row{"peer.count", uint64(len(s.peers))},
+			row{"peer.fanouts", s.fanouts.Load()},
+			row{"peer.ok", s.fanPeerOK.Load()},
+			row{"peer.errors", s.fanPeerErr.Load()},
+			row{"peer.retries", s.fanRetries.Load()},
+		)
+	}
+	if s.windowed {
+		rows = append(rows,
+			row{"window.epoch", s.Epoch()},
+			row{"window.origin_unix_ns", uint64(s.winOrigin.Load())},
+			row{"window.tick_ns", uint64(s.winTick)},
+		)
+	}
+	fmt.Fprintf(w, "OK %d\n", len(rows))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s %d\n", r.name, r.val)
 	}
 }
 
@@ -898,18 +616,6 @@ func (s *Server) cmdReset(fields []string, w *bufio.Writer) {
 		fmt.Fprintf(w, "ERR usage: RESET <slot>\n")
 		return
 	}
-	s.mu.Lock()
-	sl := s.slots[fields[1]]
-	delete(s.slots, fields[1])
-	s.mu.Unlock()
-	if sl != nil {
-		// Stop the dropped slot's roll-up worker; its history dies with
-		// the slot.
-		sl.mu.Lock()
-		if sl.plane != nil {
-			sl.plane.Close()
-		}
-		sl.mu.Unlock()
-	}
+	s.Reset(fields[1])
 	fmt.Fprintf(w, "OK 0\n")
 }

@@ -134,6 +134,21 @@ func NewPlane(ops Ops, mk func(epoch uint64) any, l Ladder) (*Plane, error) {
 // Ladder returns the normalized ladder shape.
 func (p *Plane) Ladder() Ladder { return p.ladder }
 
+// StartAt aligns a fresh plane's live epoch with an external epoch
+// sequence: a plane bound to a slot after its server has already
+// turned over epochs starts at the server's current epoch instead of
+// 1, so every slot on a node — and every node in a cluster advancing
+// on the same tick — shares one epoch timeline. It is a no-op unless
+// the plane is still pristine (no absorbs, no advances, no sealed
+// segments) and epoch moves the sequence forward.
+func (p *Plane) StartAt(epoch uint64) {
+	p.mu.Lock()
+	if p.cur == nil && p.liveVer == 0 && epoch > p.now {
+		p.now = epoch
+	}
+	p.mu.Unlock()
+}
+
 // SetQueryCache enables or disables the cover-result cache (enabled
 // by default); benchmarks disable it to measure the plan+reduce path.
 func (p *Plane) SetQueryCache(on bool) {
